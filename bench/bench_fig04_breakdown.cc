@@ -1,0 +1,64 @@
+// Figure 4: average latency breakdown for a single request on one server.
+//
+// Counter application, 15K req/s, 8K actors, default thread allocation (one
+// thread per stage per core). The paper's breakdown: receive queue 32.87%,
+// receive processing 0.19%, worker queue 24.19%, worker processing 0.29%,
+// sender queue 31.25%, sender processing 0.16%, network 0.92%, other 10.13%
+// — queuing delay dominates end-to-end latency.
+
+#include <cstdio>
+
+#include "bench/counter_common.h"
+#include "src/common/flags.h"
+#include "src/common/table.h"
+
+namespace actop {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineDouble("load", 15000.0, "requests per second (paper: 15000)");
+  flags.DefineInt("actors", 8000, "counter actors (paper: 8000)");
+  flags.DefineInt("measure-secs", 20, "measurement window");
+  flags.DefineInt("seed", 17, "random seed");
+  flags.Parse(argc, argv);
+
+  std::printf("== Figure 4: per-request latency breakdown (counter app, default threads) ==\n");
+  std::printf(
+      "paper reference: recv q 32.9%%/proc 0.2%% | worker q 24.2%%/proc 0.3%% | "
+      "sender q 31.3%%/proc 0.2%% | network 0.9%% | other 10.1%%\n\n");
+
+  CounterExperimentConfig cfg;
+  cfg.request_rate = flags.GetDouble("load");
+  cfg.num_actors = static_cast<int>(flags.GetInt("actors"));
+  cfg.measure = Seconds(flags.GetInt("measure-secs"));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const CounterExperimentResult result = RunCounterExperiment(cfg);
+
+  const char* names[] = {"receive", "worker", "server_sender", "client_sender"};
+  Table t({"component", "queue share", "processing share"});
+  double queue_total = 0.0;
+  double proc_total = 0.0;
+  for (int i = 0; i < 4; i++) {
+    const auto& st = result.stages[static_cast<size_t>(i)];
+    t.AddRow({names[i], FormatPercent(st.queue_share), FormatPercent(st.processing_share)});
+    queue_total += st.queue_share;
+    proc_total += st.processing_share;
+  }
+  t.AddRow({"network", FormatPercent(result.network_share), "-"});
+  t.AddRow({"other (OS queuing etc.)", FormatPercent(result.other_share), "-"});
+  t.Print();
+
+  std::printf("\nqueue total %s vs processing total %s — queues dominate: %s\n",
+              FormatPercent(queue_total).c_str(), FormatPercent(proc_total).c_str(),
+              queue_total > 3.0 * proc_total ? "YES (matches paper)" : "NO");
+  std::printf("end-to-end mean %.2f ms, median %s ms, CPU %s\n", result.latency.mean() / 1e6,
+              FormatMillis(result.latency.p50()).c_str(),
+              FormatPercent(result.cpu_utilization).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace actop
+
+int main(int argc, char** argv) { return actop::Main(argc, argv); }

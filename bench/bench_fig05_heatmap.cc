@@ -1,0 +1,84 @@
+// Figure 5: server request latency under different thread allocations.
+//
+// Counter application at 15K req/s on one 8-core server; worker and
+// (client-)sender thread counts sweep 2..8 while receive and server-sender
+// stay at the default 8. The paper's heat map (median latency, ms):
+//   * best  ≈ 9.9 ms at (2 workers, 3 senders)
+//   * worst ≈ 38.2 ms at (8 workers, 6 senders)
+//   * the default (8, 8) configuration is among the worst
+//   * latency grows with worker threads, and the 2-sender column pays a
+//     queueing penalty.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/counter_common.h"
+#include "src/common/flags.h"
+#include "src/common/table.h"
+
+namespace actop {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineDouble("load", 15000.0, "requests per second (paper: 15000)");
+  flags.DefineInt("measure-secs", 15, "measurement window per cell");
+  flags.DefineInt("min-threads", 2, "sweep lower bound");
+  flags.DefineInt("max-threads", 8, "sweep upper bound");
+  flags.DefineInt("step", 2, "sweep step (paper sweeps every value; default "
+                             "2 keeps the default run quick)");
+  flags.DefineInt("seed", 17, "random seed");
+  flags.Parse(argc, argv);
+
+  const int lo = static_cast<int>(flags.GetInt("min-threads"));
+  const int hi = static_cast<int>(flags.GetInt("max-threads"));
+  const int step = static_cast<int>(flags.GetInt("step"));
+
+  std::printf("== Figure 5: median latency (ms) vs (worker, sender) threads ==\n");
+  std::printf("paper reference: best 9.9 ms @ (2w,3s); worst 38.2 ms @ (8w,6s); "
+              "default (8w,8s) 28.5 ms\n\n");
+
+  std::vector<std::string> headers = {"workers\\senders"};
+  for (int s = lo; s <= hi; s += step) {
+    headers.push_back(std::to_string(s));
+  }
+  Table t(headers);
+
+  double best = 1e18;
+  double worst = 0.0;
+  int best_w = 0, best_s = 0, worst_w = 0, worst_s = 0;
+  for (int w = lo; w <= hi; w += step) {
+    std::vector<std::string> row = {std::to_string(w)};
+    for (int s = lo; s <= hi; s += step) {
+      CounterExperimentConfig cfg;
+      cfg.request_rate = flags.GetDouble("load");
+      cfg.threads = {8, w, 8, s};
+      cfg.measure = Seconds(flags.GetInt("measure-secs"));
+      cfg.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+      const CounterExperimentResult result = RunCounterExperiment(cfg);
+      const double median_ms = ToMillis(result.latency.p50());
+      row.push_back(FormatDouble(median_ms, 2));
+      if (median_ms < best) {
+        best = median_ms;
+        best_w = w;
+        best_s = s;
+      }
+      if (median_ms > worst) {
+        worst = median_ms;
+        worst_w = w;
+        worst_s = s;
+      }
+    }
+    t.AddRow(std::move(row));
+  }
+  t.Print();
+  std::printf("\nbest %.2f ms @ (%dw,%ds); worst %.2f ms @ (%dw,%ds); ratio %.1fx "
+              "(paper: ~4x, best at low thread counts)\n",
+              best, best_w, best_s, worst, worst_w, worst_s, worst / best);
+  return 0;
+}
+
+}  // namespace
+}  // namespace actop
+
+int main(int argc, char** argv) { return actop::Main(argc, argv); }

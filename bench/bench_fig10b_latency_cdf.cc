@@ -1,0 +1,59 @@
+// Figure 10(b): end-to-end client latency CDF at the high-load point,
+// baseline (random placement) vs ActOp actor partitioning.
+//
+// Paper (6K req/s): medians 41 ms -> 24 ms; p99 736 ms -> 225 ms (3x+).
+
+#include <cstdio>
+
+#include "bench/halo_common.h"
+#include "src/common/flags.h"
+#include "src/common/table.h"
+
+namespace actop {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("players", 10000, "concurrent players (paper: 100000)");
+  flags.DefineDouble("load", 4500.0, "client requests/sec (paper: 6000)");
+  flags.DefineInt("measure-secs", 40, "measurement window");
+  flags.DefineInt("seed", 42, "random seed");
+  flags.Parse(argc, argv);
+
+  std::printf("== Figure 10(b): end-to-end latency CDF, baseline vs actor partitioning ==\n");
+  std::printf("paper reference: medians 41 -> 24 ms; p99 736 -> 225 ms\n\n");
+
+  HaloExperimentConfig base;
+  base.players = static_cast<int>(flags.GetInt("players"));
+  base.request_rate = flags.GetDouble("load");
+  base.measure = Seconds(flags.GetInt("measure-secs"));
+  base.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  HaloExperimentConfig opt = base;
+  opt.partitioning = true;
+
+  const HaloExperimentResult baseline = RunHaloExperiment(base);
+  const HaloExperimentResult actop = RunHaloExperiment(opt);
+
+  Table t({"quantile", "baseline (ms)", "partitioning (ms)"});
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}) {
+    t.AddRow({FormatDouble(q, 3), FormatMillis(baseline.client_latency.ValueAtQuantile(q)),
+              FormatMillis(actop.client_latency.ValueAtQuantile(q))});
+  }
+  t.Print();
+
+  std::printf("\nmedian: %s -> %s ms (%.0f%% lower); p99: %s -> %s ms (%.0f%% lower)\n",
+              FormatMillis(baseline.client_latency.p50()).c_str(),
+              FormatMillis(actop.client_latency.p50()).c_str(),
+              ImprovementPercent(static_cast<double>(baseline.client_latency.p50()),
+                                 static_cast<double>(actop.client_latency.p50())),
+              FormatMillis(baseline.client_latency.p99()).c_str(),
+              FormatMillis(actop.client_latency.p99()).c_str(),
+              ImprovementPercent(static_cast<double>(baseline.client_latency.p99()),
+                                 static_cast<double>(actop.client_latency.p99())));
+  return 0;
+}
+
+}  // namespace
+}  // namespace actop
+
+int main(int argc, char** argv) { return actop::Main(argc, argv); }

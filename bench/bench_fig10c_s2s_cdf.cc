@@ -1,0 +1,59 @@
+// Figure 10(c): actor-to-actor call latency CDF (game <-> player calls),
+// measured at the calling server, baseline vs actor partitioning.
+//
+// Paper (6K req/s): medians 5 ms -> 3 ms; p99 297 ms -> 56 ms.
+
+#include <cstdio>
+
+#include "bench/halo_common.h"
+#include "src/common/flags.h"
+#include "src/common/table.h"
+
+namespace actop {
+namespace {
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("players", 10000, "concurrent players (paper: 100000)");
+  flags.DefineDouble("load", 4500.0, "client requests/sec (paper: 6000)");
+  flags.DefineInt("measure-secs", 40, "measurement window");
+  flags.DefineInt("seed", 42, "random seed");
+  flags.Parse(argc, argv);
+
+  std::printf("== Figure 10(c): actor-to-actor call latency CDF ==\n");
+  std::printf("paper reference: medians 5 -> 3 ms; p99 297 -> 56 ms\n\n");
+
+  HaloExperimentConfig base;
+  base.players = static_cast<int>(flags.GetInt("players"));
+  base.request_rate = flags.GetDouble("load");
+  base.measure = Seconds(flags.GetInt("measure-secs"));
+  base.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  HaloExperimentConfig opt = base;
+  opt.partitioning = true;
+
+  const HaloExperimentResult baseline = RunHaloExperiment(base);
+  const HaloExperimentResult actop = RunHaloExperiment(opt);
+
+  Table t({"quantile", "baseline (ms)", "partitioning (ms)"});
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    t.AddRow({FormatDouble(q, 2),
+              FormatMillis(baseline.actor_call_latency.ValueAtQuantile(q)),
+              FormatMillis(actop.actor_call_latency.ValueAtQuantile(q))});
+  }
+  t.Print();
+
+  std::printf("\nmedian: %s -> %s ms; p99: %s -> %s ms\n",
+              FormatMillis(baseline.actor_call_latency.p50()).c_str(),
+              FormatMillis(actop.actor_call_latency.p50()).c_str(),
+              FormatMillis(baseline.actor_call_latency.p99()).c_str(),
+              FormatMillis(actop.actor_call_latency.p99()).c_str());
+  std::printf("calls measured: baseline %llu, partitioning %llu\n",
+              static_cast<unsigned long long>(baseline.actor_call_latency.count()),
+              static_cast<unsigned long long>(actop.actor_call_latency.count()));
+  return 0;
+}
+
+}  // namespace
+}  // namespace actop
+
+int main(int argc, char** argv) { return actop::Main(argc, argv); }

@@ -1,0 +1,116 @@
+// Figure 10(f): scaling with the number of actors.
+//
+// Paper: with 10K / 100K / 1M live players at 4K req/s, the partitioning
+// optimization keeps delivering large latency reductions — the distributed
+// algorithm scales because no server ever holds the whole graph.
+//
+// The message-level simulation sweeps the scaled player counts; the
+// million-actor point is exercised on the pure partitioning algorithm (the
+// same code the agents run) over a synthetic Halo-shaped graph, reporting
+// convergence sweeps, cut quality and wall-clock per exchange.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench/halo_common.h"
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/core/partition_testbed.h"
+
+namespace actop {
+namespace {
+
+void FullSimulationSweep(const Flags& flags) {
+  std::printf("-- message-level simulation --\n");
+  Table t({"players", "median impr", "p95 impr", "p99 impr", "steady remote"});
+  for (int players : {static_cast<int>(flags.GetInt("players1")),
+                      static_cast<int>(flags.GetInt("players2"))}) {
+    HaloExperimentConfig base;
+    base.players = players;
+    base.request_rate = flags.GetDouble("load");
+    base.measure = Seconds(flags.GetInt("measure-secs"));
+    base.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+    HaloExperimentConfig opt = base;
+    opt.partitioning = true;
+
+    const HaloExperimentResult b = RunHaloExperiment(base);
+    const HaloExperimentResult o = RunHaloExperiment(opt);
+    t.AddRow({std::to_string(players),
+              FormatDouble(ImprovementPercent(static_cast<double>(b.client_latency.p50()),
+                                              static_cast<double>(o.client_latency.p50())),
+                           1) +
+                  "%",
+              FormatDouble(ImprovementPercent(static_cast<double>(b.client_latency.p95()),
+                                              static_cast<double>(o.client_latency.p95())),
+                           1) +
+                  "%",
+              FormatDouble(ImprovementPercent(static_cast<double>(b.client_latency.p99()),
+                                              static_cast<double>(o.client_latency.p99())),
+                           1) +
+                  "%",
+              FormatPercent(o.remote_fraction)});
+  }
+  t.Print();
+}
+
+void AlgorithmScalingSweep(const Flags& flags) {
+  std::printf("\n-- pure partitioning algorithm on Halo-shaped graphs --\n");
+  Table t({"vertices", "servers", "sweeps (capped)", "cut reduction", "imbalance", "wall(ms)"});
+  for (int64_t vertices : {int64_t{100'000}, flags.GetInt("algo-max-vertices")}) {
+    const int cluster_size = 9;  // one game + 8 players
+    const int clusters = static_cast<int>(vertices / cluster_size);
+    const int servers = 10;
+    Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+    WeightedGraph g = MakeClusteredGraph(clusters, cluster_size, 1.0, clusters / 10, 0.05, &rng);
+    PairwiseConfig config;
+    // The per-exchange batch is a constant fraction of the per-server vertex
+    // count (the paper's "small fraction of the total number of vertices"),
+    // so convergence takes a similar number of sweeps at every scale.
+    config.candidate_set_size =
+        std::max<size_t>(1024, static_cast<size_t>(vertices / servers / 8));
+    config.balance_delta = 2 * cluster_size;
+    PartitionTestbed bed(&g, servers, config, static_cast<uint64_t>(flags.GetInt("seed")));
+    const double initial = bed.Cost();
+    const auto start = std::chrono::steady_clock::now();
+    // A handful of sweeps demonstrates the scaling claim; full convergence
+    // on the million-vertex graph adds minutes for the last few percent.
+    const int sweeps = bed.RunToConvergence(static_cast<int>(flags.GetInt("algo-max-sweeps")));
+    const auto wall =
+        std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() -
+                                                              start)
+            .count();
+    t.AddRow({std::to_string(vertices), std::to_string(servers), std::to_string(sweeps),
+              FormatPercent(1.0 - bed.Cost() / initial), std::to_string(bed.MaxImbalance()),
+              std::to_string(wall)});
+  }
+  t.Print();
+  std::printf("(the paper's METIS comparison point: centralized partitioning of graphs this "
+              "size took hours and cannot track 1%%/min churn)\n");
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("players1", 2500, "small player count (paper: 10000)");
+  flags.DefineInt("players2", 10000, "large player count (paper: 100000)");
+  flags.DefineInt("algo-max-vertices", 250'000,
+                  "vertices for the large pure-algorithm point (1'000'000 reproduces the "
+                  "paper's top scale; ~15 min on one core)");
+  flags.DefineInt("algo-max-sweeps", 8, "sweep budget for the pure-algorithm points");
+  flags.DefineDouble("load", 3000.0, "client requests/sec (paper: 4000)");
+  flags.DefineInt("measure-secs", 30, "measurement window per run");
+  flags.DefineInt("seed", 42, "random seed");
+  flags.Parse(argc, argv);
+
+  std::printf("== Figure 10(f): latency reduction vs number of actors ==\n");
+  std::printf("paper reference: large improvements sustained from 10K to 1M live players\n\n");
+  FullSimulationSweep(flags);
+  AlgorithmScalingSweep(flags);
+  return 0;
+}
+
+}  // namespace
+}  // namespace actop
+
+int main(int argc, char** argv) { return actop::Main(argc, argv); }

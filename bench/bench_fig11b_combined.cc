@@ -1,0 +1,88 @@
+// Figure 11(b): combining actor partitioning with thread allocation.
+//
+// Halo Presence at the high-load point. Paper: partitioning is the primary
+// factor; adding thread allocation brings the total to 55% median and 75%
+// p99 improvement over the baseline. The chosen allocation also shifts when
+// partitioning is on (less sender work -> more worker threads).
+
+#include <cstdio>
+
+#include "bench/halo_common.h"
+#include "src/common/flags.h"
+#include "src/common/table.h"
+
+namespace actop {
+namespace {
+
+std::string MeanAllocation(const HaloExperimentResult& r) {
+  if (r.thread_allocations.empty()) {
+    return "-";
+  }
+  double sums[4] = {0, 0, 0, 0};
+  for (const auto& alloc : r.thread_allocations) {
+    for (int i = 0; i < 4; i++) {
+      sums[i] += alloc[static_cast<size_t>(i)];
+    }
+  }
+  const auto n = static_cast<double>(r.thread_allocations.size());
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "r%.0f/w%.0f/ss%.0f/cs%.0f", sums[0] / n, sums[1] / n,
+                sums[2] / n, sums[3] / n);
+  return buf;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  flags.DefineInt("players", 10000, "concurrent players (paper: 100000)");
+  flags.DefineDouble("load", 4500.0, "client requests/sec (paper: 6000)");
+  flags.DefineInt("measure-secs", 40, "measurement window per run");
+  flags.DefineInt("seed", 42, "random seed");
+  flags.Parse(argc, argv);
+
+  std::printf("== Figure 11(b): partitioning alone vs partitioning + thread allocation ==\n");
+  std::printf("paper reference: combined 55%% median / 75%% p99 improvement over baseline\n\n");
+
+  HaloExperimentConfig base;
+  base.players = static_cast<int>(flags.GetInt("players"));
+  base.request_rate = flags.GetDouble("load");
+  base.measure = Seconds(flags.GetInt("measure-secs"));
+  base.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  HaloExperimentConfig part = base;
+  part.partitioning = true;
+  HaloExperimentConfig both = part;
+  both.thread_optimization = true;
+
+  const HaloExperimentResult b = RunHaloExperiment(base);
+  const HaloExperimentResult p = RunHaloExperiment(part);
+  const HaloExperimentResult c = RunHaloExperiment(both);
+
+  auto impr = [&](const Histogram& opt, double q) {
+    return FormatDouble(
+               ImprovementPercent(static_cast<double>(b.client_latency.ValueAtQuantile(q)),
+                                  static_cast<double>(opt.ValueAtQuantile(q))),
+               1) +
+           "%";
+  };
+
+  Table t({"configuration", "median impr", "p95 impr", "p99 impr", "med(ms)", "p99(ms)", "CPU",
+           "mean allocation"});
+  t.AddRow({"baseline", "-", "-", "-", FormatMillis(b.client_latency.p50()),
+            FormatMillis(b.client_latency.p99()), FormatPercent(b.cpu_utilization),
+            "r8/w8/ss8/cs8"});
+  t.AddRow({"partitioning only", impr(p.client_latency, 0.5), impr(p.client_latency, 0.95),
+            impr(p.client_latency, 0.99), FormatMillis(p.client_latency.p50()),
+            FormatMillis(p.client_latency.p99()), FormatPercent(p.cpu_utilization),
+            "r8/w8/ss8/cs8"});
+  t.AddRow({"partitioning + threads", impr(c.client_latency, 0.5), impr(c.client_latency, 0.95),
+            impr(c.client_latency, 0.99), FormatMillis(c.client_latency.p50()),
+            FormatMillis(c.client_latency.p99()), FormatPercent(c.cpu_utilization),
+            MeanAllocation(c)});
+  t.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace actop
+
+int main(int argc, char** argv) { return actop::Main(argc, argv); }

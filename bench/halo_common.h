@@ -1,0 +1,72 @@
+// Shared harness for the Halo Presence experiments (§3 and §6.1/6.3).
+//
+// Runs the scaled-down cluster (8 servers × 8 cores, 10K players by default;
+// the paper used 10 servers and 100K players) with any combination of the
+// two ActOp optimizations, discards the convergence warm-up exactly like the
+// paper does, and reports client latency, server-to-server call latency,
+// CPU utilization, remote-message fraction and migration counts.
+
+#ifndef BENCH_HALO_COMMON_H_
+#define BENCH_HALO_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/sim_time.h"
+#include "src/runtime/cluster.h"
+#include "src/workload/halo_presence.h"
+
+namespace actop {
+
+struct HaloExperimentConfig {
+  int num_servers = 8;
+  int players = 10000;
+  double request_rate = 4500.0;  // the scaled "6K req/s" high-load point
+  bool partitioning = false;
+  bool thread_optimization = false;
+  SimDuration warmup = Seconds(60);
+  SimDuration measure = Seconds(40);
+  uint64_t seed = 42;
+  // Per-window callback during measurement (e.g. for the Fig 10a series).
+  SimDuration window = Seconds(10);
+};
+
+struct HaloWindowSample {
+  SimTime at = 0;
+  double remote_fraction = 0.0;
+  uint64_t migrations = 0;
+};
+
+struct HaloExperimentResult {
+  Histogram client_latency;        // end-to-end, as seen by clients
+  Histogram actor_call_latency;    // caller-observed actor-to-actor calls
+  Histogram remote_call_latency;   // remote subset of the above
+  double cpu_utilization = 0.0;    // mean across servers over the window
+  double remote_fraction = 0.0;    // actor messages crossing servers
+  uint64_t migrations = 0;         // during the measure window
+  uint64_t completed = 0;
+  uint64_t timeouts = 0;
+  uint64_t stage_rejections = 0;
+  std::vector<HaloWindowSample> windows;          // including warm-up
+  std::vector<std::vector<int>> thread_allocations;  // last allocation per server
+};
+
+// Builds the cluster+workload configs used by every Halo bench; exposed so
+// individual benches can tweak single knobs.
+ClusterConfig MakeHaloClusterConfig(const HaloExperimentConfig& config);
+HaloWorkloadConfig MakeHaloWorkloadConfig(const HaloExperimentConfig& config);
+
+// Runs one experiment to completion.
+HaloExperimentResult RunHaloExperiment(const HaloExperimentConfig& config);
+
+// Formats a latency triple "med / p95 / p99" in ms.
+std::string LatencySummary(const Histogram& h);
+
+// 100 * (1 - optimized/baseline), guarded against zero.
+double ImprovementPercent(double baseline, double optimized);
+
+}  // namespace actop
+
+#endif  // BENCH_HALO_COMMON_H_

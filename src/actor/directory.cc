@@ -1,0 +1,38 @@
+#include "src/actor/directory.h"
+
+#include "src/common/check.h"
+
+namespace actop {
+
+ServerId DirectoryShard::LookupOrRegister(ActorId actor, ServerId suggested_owner) {
+  ACTOP_CHECK(suggested_owner != kNoServer);
+  auto [it, inserted] = entries_.try_emplace(actor, suggested_owner);
+  return it->second;
+}
+
+ServerId DirectoryShard::Lookup(ActorId actor) const {
+  auto it = entries_.find(actor);
+  return it == entries_.end() ? kNoServer : it->second;
+}
+
+void DirectoryShard::Unregister(ActorId actor, ServerId owner) {
+  auto it = entries_.find(actor);
+  if (it != entries_.end() && it->second == owner) {
+    entries_.erase(it);
+  }
+}
+
+int DirectoryShard::EvictServer(ServerId server) {
+  int evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second == server) {
+      it = entries_.erase(it);
+      evicted++;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace actop

@@ -1,0 +1,49 @@
+// Distributed placement directory (one shard per server).
+//
+// As in Orleans, each actor has a "home" server chosen by hashing its id; the
+// home's directory shard is the authority on where the actor is activated.
+// Registration is first-writer-wins: concurrent activation races resolve to
+// a single owner. The shard itself is plain data + logic; the Server wires
+// it to control messages.
+
+#ifndef SRC_ACTOR_DIRECTORY_H_
+#define SRC_ACTOR_DIRECTORY_H_
+
+#include <unordered_map>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+
+namespace actop {
+
+// Home shard for an actor id given the cluster size.
+constexpr ServerId DirectoryHomeOf(ActorId actor, int num_servers) {
+  return static_cast<ServerId>(SplitMix64(actor) % static_cast<uint64_t>(num_servers));
+}
+
+class DirectoryShard {
+ public:
+  // Returns the current owner; if the actor is unregistered, registers
+  // `suggested_owner` and returns it (first-writer-wins semantics).
+  ServerId LookupOrRegister(ActorId actor, ServerId suggested_owner);
+
+  // Returns the current owner, or kNoServer.
+  ServerId Lookup(ActorId actor) const;
+
+  // Removes the entry if it still points at `owner` (a stale unregister from
+  // a previous owner must not evict a newer activation).
+  void Unregister(ActorId actor, ServerId owner);
+
+  // Removes every entry owned by `server` (membership change / crash).
+  // Returns how many entries were evicted.
+  int EvictServer(ServerId server);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<ActorId, ServerId> entries_;
+};
+
+}  // namespace actop
+
+#endif  // SRC_ACTOR_DIRECTORY_H_

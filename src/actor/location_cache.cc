@@ -1,0 +1,68 @@
+#include "src/actor/location_cache.h"
+
+#include "src/common/check.h"
+
+namespace actop {
+
+LocationCache::LocationCache(size_t capacity) : capacity_(capacity) {
+  ACTOP_CHECK(capacity >= 1);
+}
+
+void LocationCache::Put(ActorId actor, ServerId server) {
+  auto it = map_.find(actor);
+  if (it != map_.end()) {
+    it->second->server = server;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    map_.erase(victim.actor);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{actor, server});
+  map_.emplace(actor, lru_.begin());
+}
+
+ServerId LocationCache::Get(ActorId actor) {
+  auto it = map_.find(actor);
+  if (it == map_.end()) {
+    misses_++;
+    return kNoServer;
+  }
+  hits_++;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->server;
+}
+
+ServerId LocationCache::Peek(ActorId actor) const {
+  auto it = map_.find(actor);
+  return it == map_.end() ? kNoServer : it->second->server;
+}
+
+void LocationCache::Invalidate(ActorId actor) {
+  auto it = map_.find(actor);
+  if (it == map_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LocationCache::InvalidateServer(ServerId server) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->server == server) {
+      map_.erase(it->actor);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LocationCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace actop

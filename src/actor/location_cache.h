@@ -1,0 +1,59 @@
+// Bounded per-server cache of actor locations (§4.3).
+//
+// Servers consult this cache before querying the distributed placement
+// directory. Migration primes the caches of the two servers involved so the
+// next message opportunistically lands on the right server without global
+// coordination. Old entries are evicted LRU to keep space bounded.
+
+#ifndef SRC_ACTOR_LOCATION_CACHE_H_
+#define SRC_ACTOR_LOCATION_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/ids.h"
+
+namespace actop {
+
+class LocationCache {
+ public:
+  explicit LocationCache(size_t capacity);
+
+  // Inserts or refreshes an entry (moves it to most-recently-used).
+  void Put(ActorId actor, ServerId server);
+
+  // Returns the cached server or kNoServer; a hit refreshes recency.
+  ServerId Get(ActorId actor);
+
+  // Read-only lookup (no recency update), for statistics and partitioning.
+  ServerId Peek(ActorId actor) const;
+
+  // Drops an entry (e.g. after discovering it is stale).
+  void Invalidate(ActorId actor);
+
+  // Drops every entry pointing at `server` (e.g. after a server crash).
+  void InvalidateServer(ServerId server);
+
+  void Clear();
+
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    ActorId actor;
+    ServerId server;
+  };
+
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<ActorId, std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_ACTOR_LOCATION_CACHE_H_

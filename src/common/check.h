@@ -1,0 +1,37 @@
+// Lightweight runtime-check macros used throughout the library.
+//
+// ACTOP_CHECK is always on (including release builds): simulation correctness
+// depends on these invariants, and the cost is negligible next to event
+// processing. ACTOP_DCHECK compiles out in NDEBUG builds.
+
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace actop {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "ACTOP_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace actop
+
+#define ACTOP_CHECK(expr)                                \
+  do {                                                   \
+    if (!(expr)) {                                       \
+      ::actop::CheckFailed(#expr, __FILE__, __LINE__);   \
+    }                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define ACTOP_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define ACTOP_DCHECK(expr) ACTOP_CHECK(expr)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,116 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+Histogram::Histogram() : buckets_(NumBuckets(), 0) {}
+
+int Histogram::NumBuckets() {
+  // Linear region: one bucket per value up to kLinearLimit, then log region
+  // covering up to 2^62 with kSubBuckets buckets per octave.
+  constexpr int kLinearBuckets = static_cast<int>(kLinearLimit);
+  constexpr int kOctaves = 62 - 10;  // 2^10 == kLinearLimit
+  return kLinearBuckets + kOctaves * kSubBuckets;
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < kLinearLimit) {
+    return static_cast<int>(value);
+  }
+  const auto uv = static_cast<uint64_t>(value);
+  const int msb = 63 - std::countl_zero(uv);           // >= 10
+  const int octave = msb - 10;                         // 0-based octave above linear region
+  const int sub = static_cast<int>((uv >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  int bucket = static_cast<int>(kLinearLimit) + octave * kSubBuckets + sub;
+  const int last = NumBuckets() - 1;
+  return std::min(bucket, last);
+}
+
+int64_t Histogram::BucketMidpoint(int bucket) {
+  if (bucket < kLinearLimit) {
+    return bucket;
+  }
+  const int rel = bucket - static_cast<int>(kLinearLimit);
+  const int octave = rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  const int msb = octave + 10;
+  const int64_t base = (int64_t{1} << msb) + (static_cast<int64_t>(sub) << (msb - kSubBucketBits));
+  const int64_t width = int64_t{1} << (msb - kSubBucketBits);
+  return base + width / 2;
+}
+
+void Histogram::Record(int64_t value) {
+  value = std::max<int64_t>(value, 0);
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  ACTOP_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0;
+  max_ = 0;
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Clamp the representative value into the observed range so that tiny
+      // sample counts do not report values outside [min, max].
+      return std::clamp(BucketMidpoint(static_cast<int>(i)), min_, max_);
+    }
+  }
+  return max_;
+}
+
+double Histogram::CdfAt(int64_t value) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const int limit = BucketFor(std::max<int64_t>(value, 0));
+  uint64_t seen = 0;
+  for (int i = 0; i <= limit; i++) {
+    seen += buckets_[static_cast<size_t>(i)];
+  }
+  return static_cast<double>(seen) / static_cast<double>(count_);
+}
+
+}  // namespace actop

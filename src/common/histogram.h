@@ -1,0 +1,70 @@
+// Log-bucketed latency histogram (HdrHistogram-style).
+//
+// Values are bucketed with a bounded relative error (~1/32 by default), which
+// is plenty for reporting medians and tail percentiles of request latency
+// while keeping Record() allocation-free and O(1).
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace actop {
+
+class Histogram {
+ public:
+  Histogram();
+
+  // Records one non-negative sample (negative samples clamp to zero).
+  void Record(int64_t value);
+
+  // Merges all samples of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  // Number of recorded samples.
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  // Value at quantile q in [0, 1]; e.g. ValueAtQuantile(0.99) for p99.
+  // Returns the representative (midpoint) value of the bucket holding the
+  // q-th sample, so the result carries the bucket's relative error.
+  int64_t ValueAtQuantile(double q) const;
+
+  // Fraction of samples <= value (empirical CDF, bucket-resolution).
+  double CdfAt(int64_t value) const;
+
+  // Convenience percentile accessors (value units are whatever was recorded;
+  // the library records nanoseconds and converts in reporting code).
+  int64_t p50() const { return ValueAtQuantile(0.50); }
+  int64_t p95() const { return ValueAtQuantile(0.95); }
+  int64_t p99() const { return ValueAtQuantile(0.99); }
+
+ private:
+  // Bucketing: values < kLinearLimit are exact (one bucket per value is too
+  // many; we use one bucket per kLinearStep). Above that, buckets are
+  // logarithmic with kSubBuckets sub-buckets per power of two.
+  static constexpr int64_t kLinearLimit = 1024;
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets => <= ~3% error
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketMidpoint(int bucket);
+  static int NumBuckets();
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

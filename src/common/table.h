@@ -1,0 +1,44 @@
+// Plain-text table printer used by the benchmark harnesses to emit the rows
+// and series that correspond to the paper's tables and figures.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace actop {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with aligned columns.
+  std::string ToString() const;
+
+  // Renders as comma-separated values (one line per row, header first).
+  std::string ToCsv() const;
+
+  // Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimal places.
+std::string FormatDouble(double v, int decimals);
+
+// Formats a nanosecond duration as milliseconds with two decimals ("12.34").
+std::string FormatMillis(int64_t nanos);
+
+// Formats a fraction as a percentage string ("12.3%").
+std::string FormatPercent(double fraction, int decimals = 1);
+
+}  // namespace actop
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,409 @@
+#include "src/core/pairwise_partition.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <queue>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+bool PairwiseConfig::BalanceAllows(double from_size, double to_size, double move_size) const {
+  const double new_from = from_size - move_size;
+  const double new_to = to_size + move_size;
+  if (target_size >= 0.0) {
+    const double lo = target_size - static_cast<double>(balance_delta) / 2.0;
+    const double hi = target_size + static_cast<double>(balance_delta) / 2.0;
+    // Only the bound the move pushes toward matters: the shrinking server
+    // must not fall below lo, the growing one must not rise above hi. (A
+    // server outside the band for the other reason is being *helped* by the
+    // move.)
+    return new_from >= lo && new_to <= hi;
+  }
+  return std::abs(new_from - new_to) <= static_cast<double>(balance_delta);
+}
+
+ServerId LocalGraphView::LocationOf(VertexId v) const {
+  if (auto it = location.find(v); it != location.end()) {
+    return it->second;
+  }
+  if (adjacency.contains(v)) {
+    return self;
+  }
+  return kNoServer;
+}
+
+double LocalGraphView::SizeOf(VertexId v) const {
+  auto it = vertex_size.find(v);
+  return it == vertex_size.end() ? 1.0 : it->second;
+}
+
+double LocalGraphView::TotalSize() const {
+  return total_local_size >= 0.0 ? total_local_size
+                                 : static_cast<double>(num_local_vertices);
+}
+
+double TransferScore(const LocalGraphView& view, VertexId v, ServerId q) {
+  auto it = view.adjacency.find(v);
+  if (it == view.adjacency.end()) {
+    return 0.0;
+  }
+  double gain = 0.0;
+  for (const auto& [u, w] : it->second) {
+    const ServerId loc = view.LocationOf(u);
+    if (loc == q) {
+      gain += w;  // remote edge becomes local
+    } else if (loc == view.self) {
+      gain -= w;  // local edge becomes remote
+    }
+  }
+  return gain;
+}
+
+namespace {
+
+// Keeps the k highest-scoring candidates using a min-heap.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+
+  void Offer(VertexId v, double score) {
+    if (heap_.size() < k_) {
+      heap_.emplace(score, v);
+      return;
+    }
+    if (score > heap_.top().first) {
+      heap_.pop();
+      heap_.emplace(score, v);
+    }
+  }
+
+  std::vector<std::pair<VertexId, double>> Drain() {
+    std::vector<std::pair<VertexId, double>> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.emplace_back(heap_.top().second, heap_.top().first);
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());  // highest score first
+    return out;
+  }
+
+ private:
+  size_t k_;
+  // (score, vertex); min-heap by score, ties broken by vertex id for
+  // determinism.
+  std::priority_queue<std::pair<double, VertexId>, std::vector<std::pair<double, VertexId>>,
+                      std::greater<>>
+      heap_;
+};
+
+Candidate MakeCandidate(const LocalGraphView& view, VertexId v, double score) {
+  Candidate c;
+  c.vertex = v;
+  c.score = score;
+  c.size = view.SizeOf(v);
+  const auto it = view.adjacency.find(v);
+  ACTOP_CHECK(it != view.adjacency.end());
+  c.edges.reserve(it->second.size());
+  for (const auto& [u, w] : it->second) {
+    c.edges.emplace(u, CandidateEdge{w, view.LocationOf(u)});
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseConfig& config) {
+  // Per-vertex, per-server weight sums in one pass over the sampled edges.
+  std::unordered_map<ServerId, TopK> per_peer;
+  for (const auto& [v, adj] : view.adjacency) {
+    double local_weight = 0.0;
+    // remote server -> summed weight of v's edges into it
+    std::unordered_map<ServerId, double> remote_weight;
+    for (const auto& [u, w] : adj) {
+      const ServerId loc = view.LocationOf(u);
+      if (loc == view.self) {
+        local_weight += w;
+      } else if (loc != kNoServer) {
+        remote_weight[loc] += w;
+      }
+    }
+    for (const auto& [server, weight] : remote_weight) {
+      // §4.2 extension: migration cost proportional to the actor's size.
+      const double score =
+          weight - local_weight - config.migration_cost_weight * view.SizeOf(v);
+      if (score > config.min_score) {
+        per_peer.try_emplace(server, config.candidate_set_size).first->second.Offer(v, score);
+      }
+    }
+  }
+
+  std::vector<PeerPlan> plans;
+  plans.reserve(per_peer.size());
+  for (auto& [server, topk] : per_peer) {
+    PeerPlan plan;
+    plan.peer = server;
+    double total_size = 0.0;
+    for (const auto& [v, score] : topk.Drain()) {
+      // §4.2 extension: optionally cap the candidate set by total size.
+      const double size = view.SizeOf(v);
+      if (config.max_candidate_total_size > 0.0 &&
+          total_size + size > config.max_candidate_total_size && !plan.candidates.empty()) {
+        break;  // candidates are sorted best-first; stop at the budget
+      }
+      total_size += size;
+      plan.total_score += score;
+      plan.candidates.push_back(MakeCandidate(view, v, score));
+    }
+    plans.push_back(std::move(plan));
+  }
+  std::sort(plans.begin(), plans.end(), [](const PeerPlan& a, const PeerPlan& b) {
+    if (a.total_score != b.total_score) {
+      return a.total_score > b.total_score;
+    }
+    return a.peer < b.peer;
+  });
+  return plans;
+}
+
+namespace {
+
+// State for the greedy joint subset selection (lazy-deletion max-heaps).
+struct GreedyHeap {
+  // (score, vertex) max-heap.
+  std::priority_queue<std::pair<double, VertexId>> heap;
+  std::unordered_map<VertexId, double> current;  // live scores
+  std::unordered_map<VertexId, const Candidate*> candidates;
+
+  void Init(const std::vector<Candidate>& cands,
+            const std::function<double(const Candidate&)>& score_fn) {
+    for (const Candidate& c : cands) {
+      const double s = score_fn(c);
+      current[c.vertex] = s;
+      candidates[c.vertex] = &c;
+      heap.emplace(s, c.vertex);
+    }
+  }
+
+  // Returns the live top without popping, skipping stale entries.
+  bool PeekTop(VertexId* v, double* score) {
+    while (!heap.empty()) {
+      const auto [s, vertex] = heap.top();
+      auto it = current.find(vertex);
+      if (it == current.end() || it->second != s) {
+        heap.pop();  // stale or already taken
+        continue;
+      }
+      *v = vertex;
+      *score = s;
+      return true;
+    }
+    return false;
+  }
+
+  void Remove(VertexId v) { current.erase(v); }
+
+  void Update(VertexId v, double delta) {
+    auto it = current.find(v);
+    if (it == current.end()) {
+      return;
+    }
+    it->second += delta;
+    heap.emplace(it->second, v);
+  }
+};
+
+double EdgeWeightBetween(const Candidate& a, const Candidate& b) {
+  if (auto it = a.edges.find(b.vertex); it != a.edges.end()) {
+    return it->second.weight;
+  }
+  if (auto it = b.edges.find(a.vertex); it != b.edges.end()) {
+    return it->second.weight;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeRequest& request,
+                                const PairwiseConfig& config) {
+  ExchangeDecision decision;
+  const ServerId p = request.from;
+  const ServerId q = view.self;
+  ACTOP_CHECK(p != q);
+
+  // Step 2: q determines its own candidate set T toward p, ignoring S.
+  std::vector<Candidate> t_candidates;
+  for (const PeerPlan& plan : BuildPeerPlans(view, config)) {
+    if (plan.peer == p) {
+      t_candidates = plan.candidates;
+      break;
+    }
+  }
+
+  // Score the offered candidates S from q's perspective: q's own location
+  // knowledge overrides p's hints (the graph may have changed since p
+  // sampled it).
+  auto score_s = [&](const Candidate& c) {
+    double gain = -config.migration_cost_weight * c.size;
+    for (const auto& [u, edge] : c.edges) {
+      ServerId loc = view.LocationOf(u);
+      if (loc == kNoServer) {
+        loc = edge.location_hint;
+      }
+      if (loc == q) {
+        gain += edge.weight;
+      } else if (loc == p) {
+        gain -= edge.weight;
+      }
+    }
+    return gain;
+  };
+  auto score_t = [&](const Candidate& c) { return c.score; };  // computed on view already
+
+  GreedyHeap s_heap;
+  GreedyHeap t_heap;
+  s_heap.Init(request.candidates, score_s);
+  t_heap.Init(t_candidates, score_t);
+
+  double size_p = request.from_total_size >= 0.0
+                      ? request.from_total_size
+                      : static_cast<double>(request.from_num_vertices);
+  double size_q = view.TotalSize();
+
+  // Step 3: jointly determine S0 and T0 (iterative greedy, §4.2).
+  while (true) {
+    VertexId sv = 0;
+    VertexId tv = 0;
+    double s_score = 0.0;
+    double t_score = 0.0;
+    const bool has_s = s_heap.PeekTop(&sv, &s_score) && s_score > config.min_score;
+    const bool has_t = t_heap.PeekTop(&tv, &t_score) && t_score > config.min_score;
+    if (!has_s && !has_t) {
+      break;
+    }
+
+    // Applies one move (from_s: p->q, else q->p) and propagates score
+    // updates: after `moved` switches sides, an edge (moved, u) flips its
+    // contribution to u's transfer score by 2w — same-side candidates gain,
+    // opposite-side candidates lose.
+    auto apply_move = [&](bool from_s) {
+      GreedyHeap& from = from_s ? s_heap : t_heap;
+      const VertexId moved = from_s ? sv : tv;
+      const Candidate* moved_candidate = from.candidates.at(moved);
+      const double moved_size = moved_candidate->size;
+      if (from_s) {
+        decision.accepted.push_back(moved);
+        s_heap.Remove(moved);
+        size_p -= moved_size;
+        size_q += moved_size;
+      } else {
+        decision.counter_offer.push_back(*moved_candidate);
+        t_heap.Remove(moved);
+        size_p += moved_size;
+        size_q -= moved_size;
+      }
+      for (auto& [v, cand] : s_heap.candidates) {
+        if (v == moved || !s_heap.current.contains(v)) {
+          continue;
+        }
+        const double w = EdgeWeightBetween(*cand, *moved_candidate);
+        if (w > 0.0) {
+          s_heap.Update(v, from_s ? +2.0 * w : -2.0 * w);
+        }
+      }
+      for (auto& [v, cand] : t_heap.candidates) {
+        if (v == moved || !t_heap.current.contains(v)) {
+          continue;
+        }
+        const double w = EdgeWeightBetween(*cand, *moved_candidate);
+        if (w > 0.0) {
+          t_heap.Update(v, from_s ? -2.0 * w : +2.0 * w);
+        }
+      }
+    };
+
+    // Prefer the globally highest score; fall back to the other heap when the
+    // balance constraint blocks the preferred move; as a last resort pair one
+    // move from each side (net size change zero) so tight balance budgets do
+    // not freeze profitable swaps.
+    bool take_s;
+    if (has_s && has_t) {
+      take_s = s_score >= t_score;
+    } else {
+      take_s = has_s;
+    }
+    const bool s_fits =
+        has_s && config.BalanceAllows(size_p, size_q, s_heap.candidates.at(sv)->size);
+    const bool t_fits =
+        has_t && config.BalanceAllows(size_q, size_p, t_heap.candidates.at(tv)->size);
+    if (take_s && !s_fits) {
+      take_s = false;
+    }
+    if (!take_s && !t_fits) {
+      if (s_fits) {
+        take_s = true;
+      } else if (has_s && has_t &&
+                 (s_heap.candidates.at(sv)->size >= t_heap.candidates.at(tv)->size
+                      ? config.BalanceAllows(size_p, size_q, s_heap.candidates.at(sv)->size -
+                                                                 t_heap.candidates.at(tv)->size)
+                      : config.BalanceAllows(size_q, size_p, t_heap.candidates.at(tv)->size -
+                                                                 s_heap.candidates.at(sv)->size))) {
+        // A paired swap only shifts the size difference; balance must allow
+        // that net shift (always true for uniform actors).
+        // Paired swap (net size change zero). Evaluate the pair BEFORE
+        // applying anything: after the first endpoint switches sides, the
+        // second's score drops by 2·w(sv, tv) if they share an edge. Both
+        // halves must remain individually profitable so the swap strictly
+        // reduces cost and the balance invariant holds.
+        const Candidate* s_cand = s_heap.candidates.at(sv);
+        const Candidate* t_cand = t_heap.candidates.at(tv);
+        const double cross = EdgeWeightBetween(*s_cand, *t_cand);
+        const double adj_s = s_score - 2.0 * cross;
+        const double adj_t = t_score - 2.0 * cross;
+        const bool s_first = s_score >= t_score;
+        const double second_score = s_first ? adj_t : adj_s;
+        if (second_score <= config.min_score) {
+          break;  // no jointly profitable swap available
+        }
+        apply_move(s_first);
+        apply_move(!s_first);
+        continue;
+      } else {
+        break;  // neither side can move without violating balance
+      }
+    }
+    apply_move(take_s);
+  }
+  return decision;
+}
+
+double CutCost(const std::unordered_map<VertexId, VertexAdjacency>& adjacency,
+               const std::unordered_map<VertexId, ServerId>& locations) {
+  double cost = 0.0;
+  for (const auto& [v, adj] : adjacency) {
+    const auto v_loc = locations.find(v);
+    ACTOP_CHECK(v_loc != locations.end());
+    for (const auto& [u, w] : adj) {
+      // Count each unordered pair once: from the smaller endpoint, or from v
+      // when the reverse direction is not present in the map.
+      if (u < v) {
+        const auto u_adj = adjacency.find(u);
+        if (u_adj != adjacency.end() && u_adj->second.contains(v)) {
+          continue;  // counted when iterating u
+        }
+      }
+      const auto u_loc = locations.find(u);
+      ACTOP_CHECK(u_loc != locations.end());
+      if (v_loc->second != u_loc->second) {
+        cost += w;
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace actop

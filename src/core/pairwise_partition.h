@@ -1,0 +1,161 @@
+// The distributed balanced graph-partitioning algorithm of §4.2 — pure
+// algorithm layer, independent of the simulator and the actor runtime.
+//
+// Each server holds a LocalGraphView: its (sampled) weighted adjacency for
+// local vertices plus the last-known server of every referenced remote
+// vertex. The pairwise coordination protocol (Alg. 1 in the paper) is
+// expressed as three pure functions:
+//
+//   BuildPeerPlans   — p computes, for each peer q, the candidate set S of
+//                      its top-k vertices by transfer score Rp,q(v) and ranks
+//                      peers by total score (§ "Determining the candidate set").
+//   DecideExchange   — q accepts/rejects subsets: builds its own candidate
+//                      set T toward p, then greedily and jointly picks
+//                      S0 ⊆ S, T0 ⊆ T with two max-heaps, updating scores
+//                      after every pick and enforcing the balance constraint
+//                      ||V_p| − |V_q|| ≤ δ (§ "Determining exchange subsets").
+//   TransferScore    — Rp,q(v) = Σ_{u∈V_q} w(v,u) − Σ_{u∈V_p} w(v,u).
+//
+// The runtime's PartitionAgent (src/runtime/partition_agent.h) wraps these in
+// control messages; the static-graph test harness (partition_testbed.h)
+// drives them directly to validate Theorem 1.
+
+#ifndef SRC_CORE_PAIRWISE_PARTITION_H_
+#define SRC_CORE_PAIRWISE_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace actop {
+
+// Sparse weighted adjacency of one vertex: peer vertex -> edge weight.
+using VertexAdjacency = std::unordered_map<VertexId, double>;
+
+// What one server knows about the communication graph (possibly sampled and
+// partially stale).
+struct LocalGraphView {
+  ServerId self = kNoServer;
+  // Total number of local vertices (actors) — NOT just the sampled ones; the
+  // balance constraint is on actor counts (or on total size, below).
+  int64_t num_local_vertices = 0;
+  // Sampled adjacency for local vertices that have observed edges.
+  std::unordered_map<VertexId, VertexAdjacency> adjacency;
+  // Last-known location of every vertex referenced in `adjacency` (remote
+  // endpoints; local vertices may be omitted and default to `self`).
+  std::unordered_map<VertexId, ServerId> location;
+
+  // §4.2 extension — heterogeneous actors: per-vertex sizes (memory/compute
+  // footprint) for local vertices. Empty = every vertex has size 1. When
+  // used, `total_local_size` must be the sum over ALL local vertices.
+  std::unordered_map<VertexId, double> vertex_size;
+  double total_local_size = -1.0;  // < 0: use num_local_vertices
+
+  // Location lookup with local default.
+  ServerId LocationOf(VertexId v) const;
+  // Size lookup with default 1.
+  double SizeOf(VertexId v) const;
+  // Total size (falls back to the vertex count for unit-size graphs).
+  double TotalSize() const;
+};
+
+struct PairwiseConfig {
+  // k — max vertices offered per exchange ("small fraction of the total",
+  // §4.1/§4.2; this is the per-exchange migration limit).
+  size_t candidate_set_size = 64;
+  // δ — allowed difference in vertex counts between any two servers.
+  int64_t balance_delta = 16;
+  // Mean vertices per server (total actors / servers), when known. A
+  // pairwise-only size check lets servers drift apart through chains of
+  // exchanges with third parties; anchoring both endpoints to
+  // [target − δ/2, target + δ/2] guarantees the global pairwise bound the
+  // paper's Theorem 1 states. Negative = unknown; fall back to the pairwise
+  // |V_p| − |V_q| check. The runtime learns this from cluster membership and
+  // total activation counts.
+  double target_size = -1.0;
+  // Candidates must have transfer score strictly above this to be offered or
+  // accepted (0 == only strict improvements, which Theorem 1 requires).
+  double min_score = 0.0;
+
+  // §4.2 extension — migration costs: subtract `migration_cost_weight *
+  // size(v)` from every transfer score, so heavyweight actors move only for
+  // proportionally larger communication savings. 0 disables the term.
+  double migration_cost_weight = 0.0;
+  // §4.2 extension — bound the candidate set by total size instead of only
+  // by count (0 = unlimited): "we limit the size of the candidate set by the
+  // sum of sizes of all actors".
+  double max_candidate_total_size = 0.0;
+
+  // True if moving `move_size` worth of vertices from a server currently
+  // holding `from_size` (vertex count or total size) to one holding
+  // `to_size` keeps the balance invariant. With sized actors, δ and
+  // target_size are interpreted in size units.
+  bool BalanceAllows(double from_size, double to_size, double move_size = 1.0) const;
+};
+
+// One edge of an offered candidate: weight plus the offering server's
+// last-known location of the far endpoint, so the receiver can score edges
+// to vertices it has never observed. The receiver's own knowledge overrides
+// the hint.
+struct CandidateEdge {
+  double weight = 0.0;
+  ServerId location_hint = kNoServer;
+};
+using CandidateAdjacency = std::unordered_map<VertexId, CandidateEdge>;
+
+// A vertex offered in an exchange, with enough adjacency for the remote side
+// to update scores during the greedy joint selection.
+struct Candidate {
+  VertexId vertex = 0;
+  double score = 0.0;  // transfer score at build time (advisory for receiver)
+  double size = 1.0;   // vertex size (§4.2 extension; 1 for uniform actors)
+  CandidateAdjacency edges;
+};
+
+// p's plan toward one peer.
+struct PeerPlan {
+  ServerId peer = kNoServer;
+  double total_score = 0.0;  // sum of candidate scores (peer ranking key)
+  std::vector<Candidate> candidates;
+};
+
+// Exchange request from p to q (step 1 of Alg. 1).
+struct ExchangeRequest {
+  ServerId from = kNoServer;
+  int64_t from_num_vertices = 0;
+  // Total size of p's vertices (< 0: use from_num_vertices).
+  double from_total_size = -1.0;
+  std::vector<Candidate> candidates;  // S
+};
+
+// q's decision (steps 2–4 of Alg. 1).
+struct ExchangeDecision {
+  bool rejected = false;                    // q exchanged too recently
+  std::vector<VertexId> accepted;           // S0 — vertices q takes from p
+  std::vector<Candidate> counter_offer;     // T0 — vertices q sends to p
+};
+
+// Rp,q(v) for a local vertex v of `view` toward server q.
+double TransferScore(const LocalGraphView& view, VertexId v, ServerId q);
+
+// Builds per-peer candidate plans for `view`, sorted by total score
+// descending. Peers with no positive-score candidates are omitted.
+std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseConfig& config);
+
+// q-side joint subset selection. `view` is q's local view; the request came
+// from p. Never returns a decision that violates the balance constraint.
+ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeRequest& request,
+                                const PairwiseConfig& config);
+
+// Communication cost of a full partition: sum of weights of edges crossing
+// servers. `locations` maps every vertex to its server; `adjacency` is the
+// union (undirected) graph. Used by tests and the offline baseline.
+double CutCost(const std::unordered_map<VertexId, VertexAdjacency>& adjacency,
+               const std::unordered_map<VertexId, ServerId>& locations);
+
+}  // namespace actop
+
+#endif  // SRC_CORE_PAIRWISE_PARTITION_H_

@@ -1,0 +1,99 @@
+#include "src/core/queuing_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+double TotalArrivalRate(const AllocationProblem& problem) {
+  double total = 0.0;
+  for (const auto& st : problem.stages) {
+    total += st.lambda;
+  }
+  return total;
+}
+
+bool IsFeasible(const AllocationProblem& problem) {
+  double demand = 0.0;
+  for (const auto& st : problem.stages) {
+    ACTOP_CHECK(st.s > 0.0);
+    demand += st.lambda * st.beta / st.s;
+  }
+  return demand < static_cast<double>(problem.processors);
+}
+
+double Zeta(const AllocationProblem& problem) {
+  const double lambda_tot = TotalArrivalRate(problem);
+  if (lambda_tot <= 0.0) {
+    return 0.0;
+  }
+  double numerator = 0.0;   // Σ βi·sqrt(λi/si)
+  double demand = 0.0;      // Σ λi·βi/si
+  for (const auto& st : problem.stages) {
+    numerator += st.beta * std::sqrt(st.lambda / st.s);
+    demand += st.lambda * st.beta / st.s;
+  }
+  const double slack = static_cast<double>(problem.processors) - demand;
+  if (slack <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double ratio = numerator / slack;
+  return ratio * ratio / lambda_tot;
+}
+
+double ProxyLatency(const AllocationProblem& problem, const std::vector<double>& threads) {
+  ACTOP_CHECK(threads.size() == problem.stages.size());
+  const double lambda_tot = TotalArrivalRate(problem);
+  double delay = 0.0;
+  double penalty = 0.0;
+  for (size_t i = 0; i < threads.size(); i++) {
+    const StageParams& st = problem.stages[i];
+    const double mu = st.s * threads[i];
+    penalty += problem.eta * threads[i];
+    if (st.lambda <= 0.0) {
+      continue;
+    }
+    if (mu <= st.lambda) {
+      return std::numeric_limits<double>::infinity();
+    }
+    delay += st.lambda / (mu - st.lambda);
+  }
+  if (lambda_tot > 0.0) {
+    delay /= lambda_tot;
+  }
+  return delay + penalty;
+}
+
+double ModelLatencySeconds(const AllocationProblem& problem, const std::vector<double>& threads) {
+  ACTOP_CHECK(threads.size() == problem.stages.size());
+  const double lambda_tot = TotalArrivalRate(problem);
+  if (lambda_tot <= 0.0) {
+    return 0.0;
+  }
+  double delay = 0.0;
+  for (size_t i = 0; i < threads.size(); i++) {
+    const StageParams& st = problem.stages[i];
+    if (st.lambda <= 0.0) {
+      continue;
+    }
+    const double mu = st.s * threads[i];
+    if (mu <= st.lambda) {
+      return std::numeric_limits<double>::infinity();
+    }
+    delay += st.lambda / (mu - st.lambda);
+  }
+  return delay / lambda_tot;
+}
+
+double CpuUsage(const AllocationProblem& problem, const std::vector<double>& threads) {
+  ACTOP_CHECK(threads.size() == problem.stages.size());
+  double usage = 0.0;
+  for (size_t i = 0; i < threads.size(); i++) {
+    usage += threads[i] * problem.stages[i].beta;
+  }
+  return usage;
+}
+
+}  // namespace actop

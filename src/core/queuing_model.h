@@ -1,0 +1,54 @@
+// Queuing model of a SEDA server and the latency-minimization problem (*).
+//
+// Implements §5.2–5.3 of the paper. A server with K stages and p processors
+// is modeled as a Jackson network of M/M/1 queues; the proxy objective is
+//
+//   F(t) = 1/λtot · Σ_i λi / (si·ti − λi)  +  η · Σ_i ti
+//
+// subject to si·ti ≥ λi for all i and Σ_i ti·βi ≤ p.
+//
+// All rates are events per second; η is seconds per thread.
+
+#ifndef SRC_CORE_QUEUING_MODEL_H_
+#define SRC_CORE_QUEUING_MODEL_H_
+
+#include <vector>
+
+namespace actop {
+
+struct StageParams {
+  double lambda = 0.0;  // arrival rate (events/sec)
+  double s = 0.0;       // service rate per thread (events/sec); s = 1/(x+w)
+  double beta = 1.0;    // processor fraction consumed per thread; x/(x+w)
+};
+
+struct AllocationProblem {
+  std::vector<StageParams> stages;
+  int processors = 1;   // p
+  double eta = 1e-4;    // thread penalty (seconds per thread)
+};
+
+// Total arrival rate λtot = Σ λi.
+double TotalArrivalRate(const AllocationProblem& problem);
+
+// Whether the system is feasible: Σ λi·βi/si < p (Theorem 2's premise).
+bool IsFeasible(const AllocationProblem& problem);
+
+// ζ from Theorem 2; the closed form applies when eta >= ζ.
+double Zeta(const AllocationProblem& problem);
+
+// Proxy objective F(t) for a (possibly fractional) allocation. Returns
+// +infinity if some stage is unstable (si·ti <= λi). Does NOT include the
+// CPU-capacity constraint; callers enforce it separately.
+double ProxyLatency(const AllocationProblem& problem, const std::vector<double>& threads);
+
+// The weighted mean-delay part of the objective only (no η penalty), useful
+// for reporting expected in-server latency in seconds.
+double ModelLatencySeconds(const AllocationProblem& problem, const std::vector<double>& threads);
+
+// CPU-capacity usage Σ ti·βi of an allocation.
+double CpuUsage(const AllocationProblem& problem, const std::vector<double>& threads);
+
+}  // namespace actop
+
+#endif  // SRC_CORE_QUEUING_MODEL_H_

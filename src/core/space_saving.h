@@ -1,0 +1,141 @@
+// Space-Saving stream sampling (Metwally, Agrawal, El Abbadi — ICDT 2005).
+//
+// Each server applies this to its stream of observed communication edges to
+// maintain a constant-size list of the heaviest edges (§4.3 of the paper):
+// light edges never influence partitioning because only small candidate sets
+// are exchanged, so only the top-k weights need to be tracked.
+//
+// Guarantees (classic Space-Saving): with capacity m after N observations,
+// every key with true count > N/m is present, and every reported count
+// over-estimates the true count by at most its recorded `error` <= N/m.
+
+#ifndef SRC_CORE_SPACE_SAVING_H_
+#define SRC_CORE_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class SpaceSaving {
+ public:
+  struct Entry {
+    Key key;
+    uint64_t count = 0;  // estimated count (upper bound on the true count)
+    uint64_t error = 0;  // max over-estimation carried from the evicted key
+  };
+
+  explicit SpaceSaving(size_t capacity) : capacity_(capacity) { ACTOP_CHECK(capacity >= 1); }
+
+  // Observes `key` with the given increment (e.g. message count or bytes).
+  void Observe(const Key& key, uint64_t increment = 1) {
+    total_ += increment;
+    auto it = counters_.find(key);
+    if (it != counters_.end()) {
+      Detach(it->second.count, key);
+      it->second.count += increment;
+      Attach(it->second.count, key);
+      return;
+    }
+    if (counters_.size() < capacity_) {
+      counters_.emplace(key, Counter{increment, 0});
+      Attach(increment, key);
+      return;
+    }
+    // Evict the minimum-count key and inherit its count as error.
+    auto min_bucket = buckets_.begin();
+    ACTOP_CHECK(min_bucket != buckets_.end());
+    const uint64_t min_count = min_bucket->first;
+    const Key victim = min_bucket->second.back();
+    Detach(min_count, victim);
+    counters_.erase(victim);
+    counters_.emplace(key, Counter{min_count + increment, min_count});
+    Attach(min_count + increment, key);
+  }
+
+  // All tracked entries, unordered. Size <= capacity.
+  std::vector<Entry> Entries() const {
+    std::vector<Entry> out;
+    out.reserve(counters_.size());
+    for (const auto& [key, counter] : counters_) {
+      out.push_back(Entry{key, counter.count, counter.error});
+    }
+    return out;
+  }
+
+  // Estimated count for a key (0 if not tracked).
+  uint64_t EstimateCount(const Key& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second.count;
+  }
+
+  bool Contains(const Key& key) const { return counters_.contains(key); }
+
+  // Total of all observed increments (N).
+  uint64_t total_observed() const { return total_; }
+  size_t size() const { return counters_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Halves every counter (and error), dropping keys that reach zero. Called
+  // periodically so that stale edges of a changing communication graph decay
+  // instead of occupying capacity forever.
+  void Decay() {
+    buckets_.clear();
+    total_ /= 2;
+    for (auto it = counters_.begin(); it != counters_.end();) {
+      it->second.count /= 2;
+      it->second.error /= 2;
+      if (it->second.count == 0) {
+        it = counters_.erase(it);
+      } else {
+        Attach(it->second.count, it->first);
+        ++it;
+      }
+    }
+  }
+
+  void Clear() {
+    counters_.clear();
+    buckets_.clear();
+    total_ = 0;
+  }
+
+ private:
+  struct Counter {
+    uint64_t count;
+    uint64_t error;
+  };
+
+  void Attach(uint64_t count, const Key& key) { buckets_[count].push_back(key); }
+
+  void Detach(uint64_t count, const Key& key) {
+    auto it = buckets_.find(count);
+    ACTOP_CHECK(it != buckets_.end());
+    auto& vec = it->second;
+    for (size_t i = 0; i < vec.size(); i++) {
+      if (vec[i] == key) {
+        vec[i] = vec.back();
+        vec.pop_back();
+        break;
+      }
+    }
+    if (vec.empty()) {
+      buckets_.erase(it);
+    }
+  }
+
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::unordered_map<Key, Counter, Hash> counters_;
+  // count -> keys with that count; begin() is the minimum (eviction victim).
+  std::map<uint64_t, std::vector<Key>> buckets_;
+};
+
+}  // namespace actop
+
+#endif  // SRC_CORE_SPACE_SAVING_H_

@@ -1,0 +1,180 @@
+#include "src/core/thread_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+std::vector<double> ClosedFormAllocation(const AllocationProblem& problem) {
+  ACTOP_CHECK(IsFeasible(problem));
+  ACTOP_CHECK(problem.eta > 0.0);
+  const double lambda_tot = TotalArrivalRate(problem);
+  std::vector<double> threads(problem.stages.size(), 0.0);
+  for (size_t i = 0; i < problem.stages.size(); i++) {
+    const StageParams& st = problem.stages[i];
+    double t = st.lambda / st.s;
+    if (st.lambda > 0.0 && lambda_tot > 0.0) {
+      t += std::sqrt(st.lambda / (lambda_tot * problem.eta * st.s));
+    }
+    threads[i] = t;
+  }
+  return threads;
+}
+
+namespace {
+
+// Projects `threads` onto { t : ti >= lo_i, Σ ti·βi <= p } by clipping to the
+// lower bounds and, if the capacity constraint is violated, uniformly scaling
+// the slack above the lower bounds.
+void Project(const AllocationProblem& problem, const std::vector<double>& lower,
+             std::vector<double>* threads) {
+  for (size_t i = 0; i < threads->size(); i++) {
+    (*threads)[i] = std::max((*threads)[i], lower[i]);
+  }
+  const auto p = static_cast<double>(problem.processors);
+  double usage = CpuUsage(problem, *threads);
+  if (usage <= p) {
+    return;
+  }
+  double lower_usage = 0.0;
+  for (size_t i = 0; i < lower.size(); i++) {
+    lower_usage += lower[i] * problem.stages[i].beta;
+  }
+  // A feasible problem guarantees lower_usage < p (strictly); scale the
+  // excess above the lower bounds so total usage hits p.
+  const double denom = usage - lower_usage;
+  if (denom <= 0.0) {
+    return;
+  }
+  const double scale = std::max(0.0, (p - lower_usage) / denom);
+  for (size_t i = 0; i < threads->size(); i++) {
+    (*threads)[i] = lower[i] + ((*threads)[i] - lower[i]) * scale;
+  }
+}
+
+}  // namespace
+
+std::vector<double> GradientAllocation(const AllocationProblem& problem, int iterations) {
+  ACTOP_CHECK(IsFeasible(problem));
+  const size_t k = problem.stages.size();
+  const double lambda_tot = TotalArrivalRate(problem);
+
+  // Strictly-stable lower bounds: ti such that µi exceeds λi with a margin.
+  std::vector<double> lower(k, 0.0);
+  for (size_t i = 0; i < k; i++) {
+    const StageParams& st = problem.stages[i];
+    lower[i] = st.lambda > 0.0 ? (st.lambda / st.s) * 1.0001 + 1e-9 : 1e-6;
+  }
+
+  // Start from the closed form (ignoring capacity) projected into the
+  // feasible region.
+  std::vector<double> t = ClosedFormAllocation(problem);
+  Project(problem, lower, &t);
+
+  double step = 1.0;
+  double best_obj = ProxyLatency(problem, t);
+  std::vector<double> grad(k, 0.0);
+  std::vector<double> candidate(k, 0.0);
+  for (int iter = 0; iter < iterations; iter++) {
+    // dF/dti = -(1/λtot)·λi·si/(si·ti−λi)² + η
+    for (size_t i = 0; i < k; i++) {
+      const StageParams& st = problem.stages[i];
+      double g = problem.eta;
+      if (st.lambda > 0.0 && lambda_tot > 0.0) {
+        const double surplus = st.s * t[i] - st.lambda;
+        g -= st.lambda * st.s / (lambda_tot * surplus * surplus);
+      }
+      grad[i] = g;
+    }
+    // Backtracking line search on the projected step.
+    bool improved = false;
+    for (int attempt = 0; attempt < 40; attempt++) {
+      for (size_t i = 0; i < k; i++) {
+        candidate[i] = t[i] - step * grad[i];
+      }
+      Project(problem, lower, &candidate);
+      const double obj = ProxyLatency(problem, candidate);
+      if (obj < best_obj) {
+        t = candidate;
+        best_obj = obj;
+        improved = true;
+        step *= 1.3;
+        break;
+      }
+      step *= 0.5;
+    }
+    if (!improved && step < 1e-12) {
+      break;
+    }
+  }
+  return t;
+}
+
+std::vector<int> IntegerAllocation(const AllocationProblem& problem, int min_threads,
+                                   int max_threads) {
+  ACTOP_CHECK(min_threads >= 1);
+  ACTOP_CHECK(max_threads >= min_threads);
+  const size_t k = problem.stages.size();
+
+  std::vector<double> continuous;
+  if (problem.eta >= Zeta(problem)) {
+    continuous = ClosedFormAllocation(problem);
+  } else {
+    continuous = GradientAllocation(problem);
+  }
+
+  auto clamp = [&](int v) { return std::clamp(v, min_threads, max_threads); };
+
+  // Initial rounding: nearest integer, but never below stability.
+  std::vector<int> alloc(k, min_threads);
+  for (size_t i = 0; i < k; i++) {
+    const StageParams& st = problem.stages[i];
+    int t = clamp(static_cast<int>(std::lround(continuous[i])));
+    while (st.lambda > 0.0 && st.s * t <= st.lambda && t < max_threads) {
+      t++;
+    }
+    alloc[i] = clamp(t);
+  }
+
+  auto objective = [&](const std::vector<int>& a) {
+    std::vector<double> d(a.begin(), a.end());
+    double obj = ProxyLatency(problem, d);
+    // Soft-penalize capacity violations so the search prefers allocations
+    // that fit in p processors but can still return a stable allocation when
+    // integrality makes exact fit impossible.
+    const double over = CpuUsage(problem, d) - static_cast<double>(problem.processors);
+    if (over > 0.0) {
+      obj += over * 10.0 * (problem.eta + 1e-6) * 100.0;
+    }
+    return obj;
+  };
+
+  // Greedy hill climbing over single-stage ±1 moves.
+  double best = objective(alloc);
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    for (size_t i = 0; i < k; i++) {
+      for (int delta : {+1, -1}) {
+        const int candidate_t = alloc[i] + delta;
+        if (candidate_t < min_threads || candidate_t > max_threads) {
+          continue;
+        }
+        std::vector<int> candidate = alloc;
+        candidate[i] = candidate_t;
+        const double obj = objective(candidate);
+        if (obj + 1e-15 < best) {
+          alloc = std::move(candidate);
+          best = obj;
+          moved = true;
+        }
+      }
+    }
+  }
+  return alloc;
+}
+
+}  // namespace actop

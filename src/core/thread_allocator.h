@@ -1,0 +1,37 @@
+// Solvers for the latency-minimization problem (*) of §5.3.
+//
+// ClosedFormAllocation implements Theorem 2:
+//     ti = λi/si + sqrt(λi / (λtot · η · si))        (when η ≥ ζ)
+// GradientAllocation solves the convex program by projected gradient descent
+// and is used when the closed form does not apply (η < ζ) and as a test
+// oracle for the closed form.
+// IntegerAllocation rounds a fractional solution to whole threads with a
+// local search on the true objective, enforcing stability and CPU capacity.
+
+#ifndef SRC_CORE_THREAD_ALLOCATOR_H_
+#define SRC_CORE_THREAD_ALLOCATOR_H_
+
+#include <vector>
+
+#include "src/core/queuing_model.h"
+
+namespace actop {
+
+// Continuous optimum per Theorem 2. Requires IsFeasible(problem).
+// Valid (globally optimal, capacity-respecting) when problem.eta >= Zeta().
+std::vector<double> ClosedFormAllocation(const AllocationProblem& problem);
+
+// Projected-gradient solution of (*). Works for any feasible problem,
+// including η < ζ where the CPU-capacity constraint is active.
+std::vector<double> GradientAllocation(const AllocationProblem& problem, int iterations = 4000);
+
+// Picks the continuous solution (closed form when η ≥ ζ, else gradient) and
+// rounds it to integers >= 1 such that every stage is stable and
+// Σ ti·βi <= p where possible, then hill-climbs on ProxyLatency.
+// min_threads / max_threads bound each stage's allocation.
+std::vector<int> IntegerAllocation(const AllocationProblem& problem, int min_threads = 1,
+                                   int max_threads = 1024);
+
+}  // namespace actop
+
+#endif  // SRC_CORE_THREAD_ALLOCATOR_H_

@@ -1,0 +1,33 @@
+#include "src/net/network.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+Network::Network(Simulation* sim, NetworkConfig config) : sim_(sim), config_(config) {
+  ACTOP_CHECK(sim != nullptr);
+  ACTOP_CHECK(config.one_way_latency >= 0);
+  ACTOP_CHECK(config.ns_per_byte >= 0.0);
+}
+
+NodeId Network::AddNode(DeliverFn deliver) {
+  ACTOP_CHECK(deliver != nullptr);
+  nodes_.push_back(std::move(deliver));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::Send(NodeId from, NodeId to, uint32_t bytes, std::shared_ptr<void> msg) {
+  ACTOP_CHECK(from >= 0 && from < static_cast<NodeId>(nodes_.size()));
+  ACTOP_CHECK(to >= 0 && to < static_cast<NodeId>(nodes_.size()));
+  total_messages_++;
+  total_bytes_ += bytes;
+  const auto wire = static_cast<SimDuration>(config_.ns_per_byte * static_cast<double>(bytes));
+  const SimDuration delay = config_.one_way_latency + wire;
+  sim_->ScheduleAfter(delay, [this, from, to, bytes, msg = std::move(msg)] {
+    nodes_[static_cast<size_t>(to)](from, bytes, msg);
+  });
+}
+
+}  // namespace actop

@@ -1,0 +1,64 @@
+// Simulated datacenter network.
+//
+// Nodes (servers and client frontends) exchange messages; delivery is delayed
+// by a fixed one-way latency plus a size/bandwidth term. The paper's Figure 4
+// shows wire time is a small part of end-to-end latency (~1%) relative to
+// queuing, so a simple latency+bandwidth model preserves the local/remote
+// asymmetry that drives the results.
+//
+// The network layer is payload-agnostic: messages are type-erased shared
+// pointers, and the declared byte size (used for the bandwidth term and for
+// serialization-cost modeling at the endpoints) travels alongside.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/sim/simulation.h"
+
+namespace actop {
+
+// Index of a node attached to the network.
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+struct NetworkConfig {
+  SimDuration one_way_latency = Micros(250);
+  // Wire time per byte in ns/byte; 1 Gb/s == 8 ns/byte.
+  double ns_per_byte = 8.0;
+};
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(NodeId from, uint32_t bytes, std::shared_ptr<void> msg)>;
+
+  Network(Simulation* sim, NetworkConfig config);
+
+  // Registers a node; `deliver` is invoked (via the event queue) for each
+  // message addressed to it. Returns the node's id.
+  NodeId AddNode(DeliverFn deliver);
+
+  // Sends a message of the given (modeled) size from `from` to `to`.
+  void Send(NodeId from, NodeId to, uint32_t bytes, std::shared_ptr<void> msg);
+
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  Simulation* sim_;
+  NetworkConfig config_;
+  std::vector<DeliverFn> nodes_;
+  uint64_t total_messages_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_NET_NETWORK_H_

@@ -1,0 +1,98 @@
+// Client frontend pool: open-loop load generation and latency measurement.
+//
+// Models the paper's 15 frontend servers as one network node issuing an
+// aggregate Poisson request stream. Each request picks a random gateway
+// server (Orleans clients connect to gateways; the gateway forwards to the
+// target actor's silo when needed). End-to-end latency is measured at the
+// client from send to response, exactly as the paper records it.
+
+#ifndef SRC_RUNTIME_CLIENT_H_
+#define SRC_RUNTIME_CLIENT_H_
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "src/actor/actor.h"
+#include "src/common/histogram.h"
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/runtime/cluster.h"
+
+namespace actop {
+
+struct ClientConfig {
+  double request_rate = 1000.0;  // aggregate requests per second
+  uint32_t request_bytes = 256;
+  SimDuration timeout = Seconds(10);
+  uint64_t seed = 7;
+};
+
+class ClientPool {
+ public:
+  // Picks the target (actor, method) for the next request. Returning false
+  // skips this arrival (e.g. no eligible actor yet).
+  using TargetFn = std::function<bool(Rng&, ActorId*, MethodId*)>;
+
+  ClientPool(Simulation* sim, Cluster* cluster, ClientConfig config, TargetFn target_fn);
+
+  void Start();
+  void Stop();
+
+  const Histogram& latency() const { return latency_; }
+  uint64_t issued() const { return issued_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t timeouts() const { return timeouts_; }
+
+  // Clears measurements (used to discard warm-up).
+  void ResetStats();
+
+ private:
+  void ScheduleNextArrival();
+  void IssueRequest();
+  void OnDeliver(NodeId from, uint32_t bytes, std::shared_ptr<void> msg);
+  void SweepTimeouts();
+
+  Simulation* sim_;
+  Cluster* cluster_;
+  ClientConfig config_;
+  TargetFn target_fn_;
+  Rng rng_;
+  NodeId node_ = kNoNode;
+  bool running_ = false;
+
+  std::unordered_map<uint64_t, SimTime> pending_;  // seq -> send time
+  std::deque<std::pair<SimTime, uint64_t>> timeout_queue_;
+  uint64_t next_seq_ = 1;
+
+  Histogram latency_;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t timeouts_ = 0;
+};
+
+// A client node for directed (non-rate-based) calls: used by workload
+// drivers (e.g. Halo's matchmaking service) to invoke actors on demand.
+class DirectClient {
+ public:
+  DirectClient(Simulation* sim, Cluster* cluster, uint64_t seed);
+
+  // Issues a call through a random gateway; `on_response` may be null.
+  void Call(ActorId target, MethodId method, uint64_t app_data, uint32_t bytes,
+            std::function<void(const Response&)> on_response);
+
+ private:
+  void OnDeliver(NodeId from, uint32_t bytes, std::shared_ptr<void> msg);
+
+  Simulation* sim_;
+  Cluster* cluster_;
+  Rng rng_;
+  NodeId node_ = kNoNode;
+  std::unordered_map<uint64_t, std::function<void(const Response&)>> pending_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace actop
+
+#endif  // SRC_RUNTIME_CLIENT_H_

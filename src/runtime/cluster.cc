@@ -1,0 +1,163 @@
+#include "src/runtime/cluster.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+Cluster::Cluster(Simulation* sim, ClusterConfig config)
+    : sim_(sim), config_(std::move(config)), rng_(config_.seed) {
+  ACTOP_CHECK(sim != nullptr);
+  ACTOP_CHECK(config_.num_servers >= 1);
+  network_ = std::make_unique<Network>(sim_, config_.network);
+
+  for (int i = 0; i < config_.num_servers; i++) {
+    auto server = std::make_unique<Server>(sim_, this, static_cast<ServerId>(i), config_.server,
+                                           rng_.NextU64());
+    Server* raw = server.get();
+    const NodeId node = network_->AddNode(
+        [raw](NodeId from, uint32_t bytes, std::shared_ptr<void> msg) {
+          raw->OnNetworkMessage(from, bytes, std::move(msg));
+        });
+    ACTOP_CHECK(node == static_cast<NodeId>(i));
+    server->set_node(node);
+    server->set_call_latency_observer(
+        [this](SimDuration latency, bool remote) { metrics_.RecordActorCall(latency, remote); });
+    servers_.push_back(std::move(server));
+  }
+
+  if (config_.enable_partitioning) {
+    for (int i = 0; i < config_.num_servers; i++) {
+      Server* server = servers_[static_cast<size_t>(i)].get();
+      auto agent = std::make_unique<PartitionAgent>(sim_, this, server, config_.partition);
+      PartitionAgent* raw = agent.get();
+      server->set_edge_observer([raw](ActorId local, ActorId peer, ServerId dest) {
+        raw->ObserveEdge(local, peer, dest);
+      });
+      server->set_partition_handlers(
+          [raw](ServerId from, const PartitionExchangeRequest& request) {
+            raw->OnExchangeRequest(from, request);
+          },
+          [raw](ServerId from, const PartitionExchangeResponse& response) {
+            raw->OnExchangeResponse(from, response);
+          });
+      agents_.push_back(std::move(agent));
+    }
+  }
+
+  if (config_.enable_thread_optimization) {
+    for (int i = 0; i < config_.num_servers; i++) {
+      ModelControllerConfig cc = config_.thread_controller;
+      cc.no_blocking.assign(static_cast<size_t>(Server::kNumStages), true);
+      thread_controllers_.push_back(std::make_unique<ModelThreadController>(
+          sim_, servers_[static_cast<size_t>(i)].get(), cc));
+    }
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::RegisterActorType(ActorType type, ActorFactory factory, CostModel costs) {
+  ACTOP_CHECK(factory != nullptr);
+  const bool inserted =
+      actor_types_.emplace(type, ActorTypeInfo{std::move(factory), std::move(costs)}).second;
+  ACTOP_CHECK(inserted);
+}
+
+void Cluster::StartOptimizers() {
+  for (auto& agent : agents_) {
+    agent->Start();
+  }
+  for (auto& controller : thread_controllers_) {
+    controller->Start();
+  }
+}
+
+PartitionAgent* Cluster::partition_agent(int i) {
+  if (agents_.empty()) {
+    return nullptr;
+  }
+  return agents_[static_cast<size_t>(i)].get();
+}
+
+NodeId Cluster::NodeOfServer(ServerId id) const {
+  ACTOP_CHECK(id >= 0 && id < static_cast<ServerId>(servers_.size()));
+  return static_cast<NodeId>(id);
+}
+
+ServerId Cluster::ServerOfNode(NodeId node) const {
+  if (node >= 0 && node < static_cast<NodeId>(servers_.size())) {
+    return static_cast<ServerId>(node);
+  }
+  return kNoServer;
+}
+
+NodeId Cluster::AddClientNode(Network::DeliverFn deliver) {
+  return network_->AddNode(std::move(deliver));
+}
+
+Actor* Cluster::GetOrCreateActor(ActorId actor) {
+  auto it = state_store_.find(actor);
+  if (it != state_store_.end()) {
+    return it->second.get();
+  }
+  const ActorType type = ActorTypeOf(actor);
+  auto type_it = actor_types_.find(type);
+  ACTOP_CHECK(type_it != actor_types_.end());
+  auto instance = type_it->second.factory(actor);
+  ACTOP_CHECK(instance != nullptr);
+  Actor* raw = instance.get();
+  state_store_.emplace(actor, std::move(instance));
+  return raw;
+}
+
+bool Cluster::HasActorState(ActorId actor) const { return state_store_.contains(actor); }
+
+const CostModel& Cluster::CostsFor(ActorId actor) const {
+  auto it = actor_types_.find(ActorTypeOf(actor));
+  ACTOP_CHECK(it != actor_types_.end());
+  return it->second.costs;
+}
+
+int64_t Cluster::total_activations() const {
+  int64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->num_activations();
+  }
+  return total;
+}
+
+double Cluster::RemoteMessageFraction() const {
+  uint64_t remote = 0;
+  uint64_t local = 0;
+  for (const auto& server : servers_) {
+    remote += server->remote_app_messages();
+    local += server->local_app_messages();
+  }
+  const uint64_t total = remote + local;
+  return total == 0 ? 0.0 : static_cast<double>(remote) / static_cast<double>(total);
+}
+
+uint64_t Cluster::total_migrations() const {
+  uint64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->migrations_out();
+  }
+  return total;
+}
+
+void Cluster::CrashServer(ServerId id) {
+  ACTOP_CHECK(id >= 0 && id < static_cast<ServerId>(servers_.size()));
+  servers_[static_cast<size_t>(id)]->Crash();
+  // Membership change: every directory shard evicts entries owned by the
+  // crashed server, and caches drop stale pointers to it.
+  for (auto& server : servers_) {
+    server->directory_shard().EvictServer(id);
+    if (server->id() != id) {
+      server->location_cache().InvalidateServer(id);
+    }
+  }
+}
+
+}  // namespace actop

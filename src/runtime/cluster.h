@@ -1,0 +1,110 @@
+// The simulated cluster: servers, network, actor state store, and metrics.
+//
+// Plays the role of the paper's 10-server Orleans deployment. The Cluster
+// wires servers to the network, owns the application actor objects (the
+// "persistent state store": activations bind an actor id to a server, but
+// the object itself survives deactivation and migration, as Orleans state
+// does through storage), and hosts the optional ActOp components — one
+// PartitionAgent and one ModelThreadController per server.
+
+#ifndef SRC_RUNTIME_CLUSTER_H_
+#define SRC_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/actor/actor.h"
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/core/thread_controller.h"
+#include "src/net/network.h"
+#include "src/runtime/metrics.h"
+#include "src/runtime/partition_agent.h"
+#include "src/runtime/server.h"
+#include "src/sim/simulation.h"
+
+namespace actop {
+
+struct ClusterConfig {
+  int num_servers = 8;
+  ServerConfig server;
+  NetworkConfig network;
+  uint64_t seed = 1;
+
+  // ActOp optimizations (both off == the paper's baseline Orleans).
+  bool enable_partitioning = false;
+  PartitionAgentConfig partition;
+  bool enable_thread_optimization = false;
+  ModelControllerConfig thread_controller;  // no_blocking is filled in per server
+};
+
+class Cluster {
+ public:
+  Cluster(Simulation* sim, ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Registers an application actor type; must happen before traffic starts.
+  void RegisterActorType(ActorType type, ActorFactory factory, CostModel costs);
+
+  // Starts the enabled ActOp controllers (partition agents / thread
+  // controllers). Call after workload setup.
+  void StartOptimizers();
+
+  Simulation& sim() { return *sim_; }
+  Network& network() { return *network_; }
+  ClusterMetrics& metrics() { return metrics_; }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  Server& server(int i) { return *servers_[static_cast<size_t>(i)]; }
+  PartitionAgent* partition_agent(int i);
+
+  // Node/server address mapping (clients occupy nodes above the servers).
+  NodeId NodeOfServer(ServerId id) const;
+  ServerId ServerOfNode(NodeId node) const;  // kNoServer for client nodes
+  NodeId AddClientNode(Network::DeliverFn deliver);
+
+  // --- Actor state store ---
+  // Returns the application object for `actor`, creating it on first use.
+  Actor* GetOrCreateActor(ActorId actor);
+  // True if the actor has ever been activated (its state exists).
+  bool HasActorState(ActorId actor) const;
+  const CostModel& CostsFor(ActorId actor) const;
+
+  // Total activations across all servers (placement-balance target input).
+  int64_t total_activations() const;
+
+  // Fraction of actor-to-actor application messages that crossed servers,
+  // over each server's lifetime counters.
+  double RemoteMessageFraction() const;
+
+  // Sum of per-server migration counters.
+  uint64_t total_migrations() const;
+
+  // --- Failure injection ---
+  // Simulates a hard crash + instant replacement of server `id`: all its
+  // activations vanish (state survives in the store), its directory shard
+  // entries for actors it owned are evicted cluster-wide, and remote caches
+  // drop entries pointing at it.
+  void CrashServer(ServerId id);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Simulation* sim_;
+  ClusterConfig config_;
+  Rng rng_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<std::unique_ptr<PartitionAgent>> agents_;
+  std::vector<std::unique_ptr<ModelThreadController>> thread_controllers_;
+  std::unordered_map<ActorType, ActorTypeInfo> actor_types_;
+  std::unordered_map<ActorId, std::unique_ptr<Actor>> state_store_;
+  ClusterMetrics metrics_;
+};
+
+}  // namespace actop
+
+#endif  // SRC_RUNTIME_CLUSTER_H_

@@ -1,0 +1,190 @@
+#include "src/runtime/partition_agent.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/runtime/cluster.h"
+#include "src/runtime/server.h"
+
+namespace actop {
+
+PartitionAgent::PartitionAgent(Simulation* sim, Cluster* cluster, Server* server,
+                               PartitionAgentConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      server_(server),
+      config_(config),
+      edges_(config.edge_sample_capacity) {
+  ACTOP_CHECK(sim != nullptr);
+  ACTOP_CHECK(cluster != nullptr);
+  ACTOP_CHECK(server != nullptr);
+}
+
+void PartitionAgent::Start() {
+  ACTOP_CHECK(round_timer_ == 0);
+  // Randomly phase-shift the first round so the servers do not initiate
+  // exchanges in lock step.
+  const SimDuration phase = static_cast<SimDuration>(
+      cluster_->rng().NextBounded(static_cast<uint64_t>(config_.exchange_period)));
+  sim_->ScheduleAfter(phase, [this] {
+    if (round_timer_ != 0) {
+      return;
+    }
+    round_timer_ = sim_->SchedulePeriodic(config_.exchange_period, [this] { RunRound(); });
+  });
+  decay_timer_ = sim_->SchedulePeriodic(config_.edge_decay_period, [this] { edges_.Decay(); });
+}
+
+void PartitionAgent::Stop() {
+  if (round_timer_ != 0) {
+    sim_->CancelPeriodic(round_timer_);
+    round_timer_ = 0;
+  }
+  if (decay_timer_ != 0) {
+    sim_->CancelPeriodic(decay_timer_);
+    decay_timer_ = 0;
+  }
+}
+
+void PartitionAgent::ObserveEdge(ActorId local, ActorId peer, ServerId dest) {
+  edges_.Observe(EdgeKey{local, peer});
+  if (dest != kNoServer && dest != server_->id()) {
+    last_seen_[peer] = dest;
+  } else if (dest == server_->id()) {
+    last_seen_.erase(peer);
+  }
+}
+
+LocalGraphView PartitionAgent::BuildView() const {
+  LocalGraphView view;
+  view.self = server_->id();
+  view.num_local_vertices = server_->num_activations();
+  for (const auto& entry : edges_.Entries()) {
+    const ActorId local = entry.key.local;
+    const ActorId peer = entry.key.peer;
+    if (!server_->IsActive(local)) {
+      continue;  // migrated away or deactivated; decay will reclaim it
+    }
+    view.adjacency[local][peer] += static_cast<double>(entry.count);
+    if (server_->IsActive(peer)) {
+      view.location[peer] = server_->id();
+      continue;
+    }
+    ServerId loc = server_->location_cache().Peek(peer);
+    if (loc == kNoServer) {
+      if (auto it = last_seen_.find(peer); it != last_seen_.end()) {
+        loc = it->second;
+      }
+    }
+    if (loc != kNoServer) {
+      view.location[peer] = loc;
+    }
+  }
+  return view;
+}
+
+PairwiseConfig PartitionAgent::CurrentPairwiseConfig() const {
+  PairwiseConfig cfg = config_.pairwise;
+  cfg.target_size = static_cast<double>(cluster_->total_activations()) /
+                    static_cast<double>(cluster_->num_servers());
+  return cfg;
+}
+
+void PartitionAgent::RunRound() {
+  if (exchange_in_flight_) {
+    // An exchange request or its response can be shed by an overloaded
+    // receive queue; give up on it after a few periods so the agent cannot
+    // wedge permanently.
+    if (sim_->now() - exchange_sent_at_ < 3 * config_.exchange_period) {
+      return;
+    }
+    exchange_in_flight_ = false;
+  }
+  rounds_initiated_++;
+  const LocalGraphView view = BuildView();
+  pending_plans_ = BuildPeerPlans(view, CurrentPairwiseConfig());
+  if (static_cast<int>(pending_plans_.size()) > config_.max_peers_per_round) {
+    pending_plans_.resize(static_cast<size_t>(config_.max_peers_per_round));
+  }
+  next_plan_ = 0;
+  if (pending_plans_.empty()) {
+    return;
+  }
+  // Charge the candidate-set computation (O(edges) scan, §4.2's complexity
+  // analysis) to the worker stage, then contact the best peer.
+  StageEvent ev;
+  ev.compute = static_cast<SimDuration>(config_.plan_compute_per_edge *
+                                        static_cast<SimDuration>(edges_.size()));
+  ev.done = [this] { TryNextPeer(); };
+  server_->stage(Server::kWorker).Enqueue(std::move(ev));
+}
+
+void PartitionAgent::TryNextPeer() {
+  if (next_plan_ >= pending_plans_.size()) {
+    exchange_in_flight_ = false;
+    return;
+  }
+  const PeerPlan& plan = pending_plans_[next_plan_++];
+  exchange_in_flight_ = true;
+  exchange_sent_at_ = sim_->now();
+  PartitionExchangeRequest request;
+  request.from_num_vertices = server_->num_activations();
+  request.candidates = plan.candidates;
+  request.exchange_id = next_exchange_id_++;
+  server_->SendControl(plan.peer, std::move(request));
+}
+
+void PartitionAgent::OnExchangeRequest(ServerId from, const PartitionExchangeRequest& request) {
+  PartitionExchangeResponse response;
+  response.exchange_id = request.exchange_id;
+  if (sim_->now() - last_exchange_ < config_.exchange_min_gap) {
+    response.rejected = true;
+    server_->SendControl(from, std::move(response));
+    return;
+  }
+  ExchangeRequest algo_request;
+  algo_request.from = from;
+  algo_request.from_num_vertices = request.from_num_vertices;
+  algo_request.candidates = request.candidates;
+  const LocalGraphView view = BuildView();
+  const ExchangeDecision decision =
+      DecideExchange(view, algo_request, CurrentPairwiseConfig());
+
+  // Transfer T0 to the requester; vertices busy with in-flight calls are
+  // skipped this round (they will surface again if the edge stays heavy).
+  int migrated = 0;
+  for (const Candidate& c : decision.counter_offer) {
+    if (server_->MigrateActor(c.vertex, from)) {
+      migrated++;
+    }
+  }
+  response.accepted = decision.accepted;
+  if (!response.accepted.empty() || migrated > 0) {
+    last_exchange_ = sim_->now();
+  }
+  server_->SendControl(from, std::move(response));
+}
+
+void PartitionAgent::OnExchangeResponse(ServerId from, const PartitionExchangeResponse& response) {
+  exchange_in_flight_ = false;
+  if (response.rejected) {
+    exchanges_rejected_++;
+    TryNextPeer();
+    return;
+  }
+  exchanges_accepted_++;
+  if (!response.accepted.empty()) {
+    last_exchange_ = sim_->now();
+    MigrateAccepted(from, response.accepted);
+  }
+  pending_plans_.clear();
+  next_plan_ = 0;
+}
+
+void PartitionAgent::MigrateAccepted(ServerId dest, const std::vector<VertexId>& vertices) {
+  for (VertexId v : vertices) {
+    server_->MigrateActor(v, dest);
+  }
+}
+
+}  // namespace actop

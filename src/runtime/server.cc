@@ -1,0 +1,659 @@
+#include "src/runtime/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/runtime/cluster.h"
+
+namespace actop {
+
+namespace {
+const char* const kStageNames[Server::kNumStages] = {"receive", "worker", "server_sender",
+                                                     "client_sender"};
+}  // namespace
+
+// Concrete CallContext bound to one delivered call. Kept alive by shared_ptr
+// captured in the actor's continuations until Reply() runs.
+class ServerCallContext : public CallContext,
+                          public std::enable_shared_from_this<ServerCallContext> {
+ public:
+  ServerCallContext(Server* server, std::shared_ptr<Envelope> call)
+      : server_(server), call_(std::move(call)) {}
+
+  ActorId self() const override { return call_->target; }
+  MethodId method() const override { return call_->method; }
+  uint32_t payload_bytes() const override { return call_->payload_bytes; }
+  uint64_t app_data() const override { return call_->app_data; }
+  ActorId caller() const override { return call_->source_actor; }
+  SimTime now() const override { return server_->sim_->now(); }
+
+  void Call(ActorId target, MethodId method, uint32_t payload_bytes,
+            std::function<void(const Response&)> on_response) override {
+    server_->IssueCall(self(), target, method, 0, payload_bytes, std::move(on_response));
+  }
+
+  void CallWithData(ActorId target, MethodId method, uint64_t app_data, uint32_t payload_bytes,
+                    std::function<void(const Response&)> on_response) override {
+    server_->IssueCall(self(), target, method, app_data, payload_bytes, std::move(on_response));
+  }
+
+  void CallOneWay(ActorId target, MethodId method, uint32_t payload_bytes) override {
+    server_->IssueCall(self(), target, method, 0, payload_bytes, nullptr);
+  }
+
+  void Reply(uint32_t payload_bytes) override {
+    ACTOP_CHECK(!replied_);
+    replied_ = true;
+    // Keep *this alive until this frame returns even though the server drops
+    // its retaining reference now.
+    std::shared_ptr<void> keep_alive = server_->ReleaseContext(this);
+    server_->CompleteReply(self(), *call_, payload_bytes);
+  }
+
+  void AddCompute(SimDuration extra) override {
+    ACTOP_CHECK(extra >= 0);
+    extra_compute_ += extra;
+  }
+
+  bool replied() const { return replied_; }
+  SimDuration take_extra_compute() {
+    const SimDuration extra = extra_compute_;
+    extra_compute_ = 0;
+    return extra;
+  }
+
+ private:
+  Server* server_;
+  std::shared_ptr<Envelope> call_;
+  bool replied_ = false;
+  SimDuration extra_compute_ = 0;
+};
+
+Server::Server(Simulation* sim, Cluster* cluster, ServerId id, ServerConfig config, uint64_t seed)
+    : sim_(sim),
+      cluster_(cluster),
+      id_(id),
+      config_(config),
+      rng_(seed),
+      location_cache_(config.location_cache_capacity) {
+  ACTOP_CHECK(sim != nullptr);
+  ACTOP_CHECK(cluster != nullptr);
+  cpu_ = std::make_unique<CpuModel>(sim_, config_.cores, config_.kappa,
+                                    config_.dispatch_quantum, rng_.NextU64());
+  if (config_.gc_mean_interval > 0) {
+    cpu_->EnablePauses(config_.gc_mean_interval, config_.gc_base_duration,
+                       config_.gc_per_thread_factor, config_.gc_superlinear_exponent);
+  }
+  for (int i = 0; i < kNumStages; i++) {
+    stages_.push_back(std::make_unique<Stage>(sim_, cpu_.get(), kStageNames[i],
+                                              config_.initial_threads_per_stage,
+                                              config_.stage_queue_capacity));
+  }
+  cpu_->set_total_threads(config_.initial_threads_per_stage * kNumStages);
+  sim_->SchedulePeriodic(config_.timeout_sweep_period, [this] { SweepTimeouts(); });
+}
+
+Server::~Server() = default;
+
+void Server::ApplyThreadAllocation(const std::vector<int>& threads) {
+  ACTOP_CHECK(threads.size() == static_cast<size_t>(kNumStages));
+  int total = 0;
+  for (int i = 0; i < kNumStages; i++) {
+    stages_[static_cast<size_t>(i)]->set_threads(threads[static_cast<size_t>(i)]);
+    total += threads[static_cast<size_t>(i)];
+  }
+  cpu_->set_total_threads(total);
+}
+
+SimDuration Server::SampleCost(SimDuration mean) {
+  if (!config_.exponential_costs || mean <= 0) {
+    return mean;
+  }
+  return rng_.NextExpDuration(mean);
+}
+
+SimDuration Server::DeserializeCost(uint32_t bytes) {
+  return SampleCost(config_.deserialize_base + static_cast<SimDuration>(
+                        config_.deserialize_ns_per_byte * static_cast<double>(bytes)));
+}
+
+SimDuration Server::SerializeCost(uint32_t bytes) {
+  return SampleCost(config_.serialize_base + static_cast<SimDuration>(
+                        config_.serialize_ns_per_byte * static_cast<double>(bytes)));
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void Server::OnNetworkMessage(NodeId from, uint32_t bytes, std::shared_ptr<void> msg) {
+  auto env = std::static_pointer_cast<Envelope>(msg);
+  env->via_network = true;
+  SimDuration compute = DeserializeCost(bytes);
+  if (env->kind == MessageKind::kControl) {
+    compute += config_.control_compute;
+  }
+  StageEvent ev;
+  ev.compute = compute;
+  ev.done = [this, env = std::move(env), from] {
+    switch (env->kind) {
+      case MessageKind::kCall:
+        RouteCall(env);
+        break;
+      case MessageKind::kResponse:
+        HandleResponse(env);
+        break;
+      case MessageKind::kControl:
+        HandleControl(*env, from);
+        break;
+    }
+  };
+  stages_[kReceive]->Enqueue(std::move(ev));
+}
+
+void Server::HandleControl(const Envelope& env, NodeId from) {
+  const ServerId from_server = cluster_->ServerOfNode(from);
+  if (const auto* req = std::get_if<DirLookupRequest>(&env.control)) {
+    ACTOP_CHECK(DirectoryHomeOf(req->actor, cluster_->num_servers()) == id_);
+    const ServerId owner = directory_shard_.LookupOrRegister(req->actor, req->suggested_owner);
+    SendControl(from_server,
+                DirLookupResponse{.actor = req->actor, .owner = owner,
+                                  .request_id = req->request_id});
+    return;
+  }
+  if (const auto* resp = std::get_if<DirLookupResponse>(&env.control)) {
+    OnDirectoryAnswer(resp->actor, resp->owner);
+    return;
+  }
+  if (const auto* unreg = std::get_if<DirUnregister>(&env.control)) {
+    directory_shard_.Unregister(unreg->actor, unreg->owner);
+    return;
+  }
+  if (const auto* update = std::get_if<CacheUpdate>(&env.control)) {
+    location_cache_.Put(update->actor, update->owner);
+    return;
+  }
+  if (const auto* req = std::get_if<PartitionExchangeRequest>(&env.control)) {
+    if (partition_request_handler_) {
+      partition_request_handler_(from_server, *req);
+    }
+    return;
+  }
+  if (const auto* resp = std::get_if<PartitionExchangeResponse>(&env.control)) {
+    if (partition_response_handler_) {
+      partition_response_handler_(from_server, *resp);
+    }
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Call routing & activation
+// ---------------------------------------------------------------------------
+
+void Server::RouteCall(std::shared_ptr<Envelope> env) {
+  const ActorId target = env->target;
+  if (activations_.contains(target)) {
+    DeliverLocalCall(std::move(env));
+    return;
+  }
+  const ServerId hint = location_cache_.Get(target);
+  if (hint != kNoServer && hint != id_ && env->hops < config_.max_hops) {
+    ForwardCall(std::move(env), hint);
+    return;
+  }
+  if (hint != kNoServer && env->hops >= config_.max_hops) {
+    // Too many stale-cache forwards: fall back to the authoritative path.
+    location_cache_.Invalidate(target);
+  }
+  ResolveViaDirectory(std::move(env));
+}
+
+void Server::ResolveViaDirectory(std::shared_ptr<Envelope> env) {
+  const ActorId target = env->target;
+  auto& parked = parked_calls_[target];
+  parked.entries.push_back(std::move(env));
+  if (parked.entries.size() > 1) {
+    return;  // lookup already in flight
+  }
+  parked.since = sim_->now();
+  const ServerId home = DirectoryHomeOf(target, cluster_->num_servers());
+  const ServerId suggestion = SuggestPlacement(target);
+  if (home == id_) {
+    const ServerId owner = directory_shard_.LookupOrRegister(target, suggestion);
+    // Defer via the event queue: the parked list must not be consumed
+    // synchronously inside the caller's frame.
+    sim_->ScheduleAfter(0, [this, target, owner] { OnDirectoryAnswer(target, owner); });
+    return;
+  }
+  SendControl(home, DirLookupRequest{.actor = target, .suggested_owner = suggestion,
+                                     .request_id = next_exchange_token_++});
+}
+
+ServerId Server::SuggestPlacement(ActorId actor) {
+  // Opportunistic re-placement (§4.3): a cache hint — typically primed by a
+  // migration — wins; a previously-activated actor re-activates on the
+  // calling server; a brand-new actor follows the configured policy.
+  const ServerId hinted = location_cache_.Peek(actor);
+  if (hinted != kNoServer) {
+    return hinted;
+  }
+  if (cluster_->HasActorState(actor)) {
+    return id_;
+  }
+  switch (config_.placement) {
+    case PlacementPolicy::kRandom:
+      return static_cast<ServerId>(
+          rng_.NextBounded(static_cast<uint64_t>(cluster_->num_servers())));
+    case PlacementPolicy::kLocal:
+      return id_;
+    case PlacementPolicy::kConsistentHash:
+      return static_cast<ServerId>(SplitMix64(actor ^ 0x5bd1e995) %
+                                   static_cast<uint64_t>(cluster_->num_servers()));
+  }
+  return id_;
+}
+
+void Server::OnDirectoryAnswer(ActorId actor, ServerId owner) {
+  location_cache_.Put(actor, owner);
+  auto it = parked_calls_.find(actor);
+  if (it == parked_calls_.end()) {
+    return;
+  }
+  std::vector<std::shared_ptr<Envelope>> envs = std::move(it->second.entries);
+  parked_calls_.erase(it);
+  for (auto& env : envs) {
+    if (owner == id_) {
+      ActivateAndDeliver(std::move(env));
+    } else {
+      ForwardCall(std::move(env), owner);
+    }
+  }
+}
+
+void Server::ActivateAndDeliver(std::shared_ptr<Envelope> env) {
+  const ActorId target = env->target;
+  if (!activations_.contains(target)) {
+    Activation act;
+    act.instance = cluster_->GetOrCreateActor(target);
+    act.activation_pending = true;
+    activations_.emplace(target, std::move(act));
+    activations_started_++;
+  }
+  DeliverLocalCall(std::move(env));
+}
+
+void Server::ForwardCall(std::shared_ptr<Envelope> env, ServerId dest) {
+  ACTOP_CHECK(dest != id_);
+  env->hops++;
+  SendToServer(dest, std::move(env));
+}
+
+void Server::DeliverLocalCall(std::shared_ptr<Envelope> env) {
+  auto it = activations_.find(env->target);
+  ACTOP_CHECK(it != activations_.end());
+  Activation& act = it->second;
+  if (act.busy) {
+    act.mailbox.push_back(std::move(env));
+    return;
+  }
+  const ActorId target = env->target;  // read before the move below
+  StartTurn(target, std::move(env));
+}
+
+void Server::StartTurn(ActorId actor, std::shared_ptr<Envelope> env) {
+  auto it = activations_.find(actor);
+  ACTOP_CHECK(it != activations_.end());
+  Activation& act = it->second;
+  ACTOP_CHECK(!act.busy);
+  act.busy = true;
+  act.open_contexts++;
+
+  const CostModel& costs = cluster_->CostsFor(actor);
+  SimDuration compute = SampleCost(costs.ComputeFor(env->method));
+  if (!env->via_network) {
+    // Deep copy of LPC arguments (isolation between co-located actors).
+    compute += SampleCost(config_.lpc_compute +
+                          static_cast<SimDuration>(config_.lpc_ns_per_byte *
+                                                   static_cast<double>(env->payload_bytes)));
+  }
+  if (act.activation_pending) {
+    compute += config_.activation_compute;
+    act.activation_pending = false;
+  }
+
+  StageEvent ev;
+  ev.compute = compute;
+  ev.blocking = costs.handler_blocking;
+  const uint64_t epoch = crash_epoch_;
+  ev.done = [this, actor, env = std::move(env), epoch]() mutable {
+    auto act_it = activations_.find(actor);
+    if (epoch != crash_epoch_ || act_it == activations_.end()) {
+      return;  // server crashed while the turn was queued
+    }
+    auto ctx = std::make_shared<ServerCallContext>(this, env);
+    act_it->second.instance->OnCall(*ctx);
+    if (!ctx->replied()) {
+      // The actor will Reply from a sub-call continuation; keep the context
+      // alive until then.
+      RetainContext(ctx.get(), ctx);
+    }
+    const SimDuration extra = ctx->take_extra_compute();
+    if (extra > 0) {
+      StageEvent extra_ev;
+      extra_ev.compute = extra;
+      extra_ev.done = [this, actor, epoch] {
+        if (epoch == crash_epoch_) {
+          FinishTurn(actor);
+        }
+      };
+      stages_[kWorker]->Enqueue(std::move(extra_ev));
+    } else {
+      FinishTurn(actor);
+    }
+  };
+  stages_[kWorker]->Enqueue(std::move(ev));
+}
+
+void Server::FinishTurn(ActorId actor) {
+  auto it = activations_.find(actor);
+  if (it == activations_.end()) {
+    return;
+  }
+  Activation& act = it->second;
+  ACTOP_CHECK(act.busy);
+  act.busy = false;
+  if (!act.mailbox.empty()) {
+    std::shared_ptr<Envelope> next = std::move(act.mailbox.front());
+    act.mailbox.pop_front();
+    StartTurn(actor, std::move(next));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sub-calls and replies
+// ---------------------------------------------------------------------------
+
+void Server::IssueCall(ActorId from_actor, ActorId target, MethodId method, uint64_t app_data,
+                       uint32_t bytes, std::function<void(const Response&)> on_response) {
+  auto env = std::make_shared<Envelope>();
+  env->kind = MessageKind::kCall;
+  env->target = target;
+  env->source_actor = from_actor;
+  env->method = method;
+  env->payload_bytes = bytes;
+  env->app_data = app_data;
+  env->reply_to = node_;
+  env->created_at = sim_->now();
+  env->via_network = false;
+
+  const bool local = activations_.contains(target);
+  ServerId dest_guess = local ? id_ : location_cache_.Peek(target);
+  NoteAppSend(from_actor, target, dest_guess, !local);
+
+  if (on_response != nullptr) {
+    const uint64_t seq = next_call_seq_++;
+    env->call_id = CallId{node_, seq};
+    PendingCall pending;
+    pending.issuer = from_actor;
+    pending.on_response = std::move(on_response);
+    pending.issued_at = sim_->now();
+    pending.remote = !local;
+    pending_calls_.emplace(seq, std::move(pending));
+    timeout_queue_.emplace_back(sim_->now() + config_.call_timeout, seq);
+    auto act_it = activations_.find(from_actor);
+    if (act_it != activations_.end()) {
+      act_it->second.pending_subcalls++;
+    }
+  } else {
+    env->call_id = CallId{node_, 0};  // one-way: no response expected
+  }
+  RouteCall(std::move(env));
+}
+
+void Server::CompleteReply(ActorId from_actor, const Envelope& original_call, uint32_t bytes) {
+  auto act_it = activations_.find(from_actor);
+  if (act_it != activations_.end()) {
+    ACTOP_CHECK(act_it->second.open_contexts > 0);
+    act_it->second.open_contexts--;
+  }
+  if (original_call.call_id.seq == 0) {
+    return;  // one-way call: the reply is dropped
+  }
+  auto env = std::make_shared<Envelope>();
+  env->kind = MessageKind::kResponse;
+  env->call_id = original_call.call_id;
+  env->target = original_call.source_actor;
+  env->source_actor = from_actor;
+  env->payload_bytes = bytes;
+  env->created_at = original_call.created_at;
+  env->reply_to = original_call.reply_to;
+
+  const NodeId dest_node = original_call.reply_to;
+  if (original_call.source_actor != kNoActor) {
+    const ServerId dest_server = cluster_->ServerOfNode(dest_node);
+    NoteAppSend(from_actor, original_call.source_actor, dest_server, dest_server != id_);
+  }
+  if (dest_node == node_) {
+    // Local response: no serialization; handle directly.
+    env->via_network = false;
+    HandleResponse(std::move(env));
+    return;
+  }
+  const ServerId dest_server = cluster_->ServerOfNode(dest_node);
+  if (dest_server == kNoServer) {
+    SendToClient(dest_node, std::move(env));
+  } else {
+    SendToServer(dest_server, std::move(env));
+  }
+}
+
+void Server::HandleResponse(std::shared_ptr<Envelope> env) {
+  ACTOP_CHECK(env->call_id.node == node_);
+  auto it = pending_calls_.find(env->call_id.seq);
+  if (it == pending_calls_.end()) {
+    return;  // timed out or dropped during a crash
+  }
+  PendingCall pending = std::move(it->second);
+  pending_calls_.erase(it);
+
+  auto act_it = activations_.find(pending.issuer);
+  if (act_it != activations_.end()) {
+    ACTOP_CHECK(act_it->second.pending_subcalls > 0);
+    act_it->second.pending_subcalls--;
+  }
+  const SimDuration latency = sim_->now() - pending.issued_at;
+  if (call_latency_observer_) {
+    call_latency_observer_(latency, pending.remote);
+  }
+
+  // Response continuations run as their own worker-stage turns (they may
+  // interleave with the issuer's queued calls, matching Orleans' handling of
+  // an activation's own continuations).
+  StageEvent ev;
+  ev.compute = config_.response_handling_compute;
+  Response response;
+  response.from = env->source_actor;
+  response.payload_bytes = env->payload_bytes;
+  response.failed = false;
+  ev.done = [on_response = std::move(pending.on_response), response] { on_response(response); };
+  stages_[kWorker]->Enqueue(std::move(ev));
+}
+
+// ---------------------------------------------------------------------------
+// Sending
+// ---------------------------------------------------------------------------
+
+void Server::SendToServer(ServerId dest, std::shared_ptr<Envelope> env) {
+  ACTOP_CHECK(dest != id_);
+  const uint32_t bytes = env->kind == MessageKind::kControl ? config_.control_bytes
+                                                            : env->payload_bytes;
+  StageEvent ev;
+  ev.compute = SerializeCost(bytes);
+  ev.done = [this, dest, bytes, env = std::move(env)] {
+    cluster_->network().Send(node_, cluster_->NodeOfServer(dest), bytes, env);
+  };
+  stages_[kServerSender]->Enqueue(std::move(ev));
+}
+
+void Server::SendToClient(NodeId client_node, std::shared_ptr<Envelope> env) {
+  const uint32_t bytes = env->payload_bytes;
+  StageEvent ev;
+  ev.compute = SerializeCost(bytes);
+  ev.done = [this, client_node, bytes, env = std::move(env)] {
+    cluster_->network().Send(node_, client_node, bytes, env);
+  };
+  stages_[kClientSender]->Enqueue(std::move(ev));
+}
+
+void Server::SendControl(ServerId dest, ControlPayload payload) {
+  if (dest == id_) {
+    // Local control operations skip the wire but still defer via the event
+    // queue for re-entrancy safety.
+    auto env = std::make_shared<Envelope>();
+    env->kind = MessageKind::kControl;
+    env->control = std::move(payload);
+    sim_->ScheduleAfter(0, [this, env] { HandleControl(*env, node_); });
+    return;
+  }
+  auto env = std::make_shared<Envelope>();
+  env->kind = MessageKind::kControl;
+  env->payload_bytes = config_.control_bytes;
+  env->control = std::move(payload);
+  SendToServer(dest, std::move(env));
+}
+
+void Server::NoteAppSend(ActorId from, ActorId to, ServerId dest_server, bool remote) {
+  if (from == kNoActor || to == kNoActor) {
+    return;
+  }
+  if (remote) {
+    remote_app_messages_++;
+  } else {
+    local_app_messages_++;
+  }
+  cluster_->metrics().CountAppMessage(remote);
+  if (edge_observer_) {
+    edge_observer_(from, to, dest_server);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Migration & failures
+// ---------------------------------------------------------------------------
+
+std::vector<ActorId> Server::ActiveActors() const {
+  std::vector<ActorId> out;
+  out.reserve(activations_.size());
+  for (const auto& [actor, act] : activations_) {
+    out.push_back(actor);
+  }
+  return out;
+}
+
+bool Server::IsMigratable(ActorId actor) const {
+  auto it = activations_.find(actor);
+  if (it == activations_.end()) {
+    return false;
+  }
+  const Activation& act = it->second;
+  return !act.busy && act.mailbox.empty() && act.open_contexts == 0 &&
+         act.pending_subcalls == 0;
+}
+
+bool Server::MigrateActor(ActorId actor, ServerId dest) {
+  if (dest == id_ || !IsMigratable(actor)) {
+    return false;
+  }
+  activations_.erase(actor);
+  migrations_out_++;
+  cluster_->metrics().CountMigration();
+  // Opportunistic migration (§4.3): drop the directory entry and prime the
+  // location caches of this server and the destination. The next call to the
+  // actor re-activates it at `dest`.
+  const ServerId home = DirectoryHomeOf(actor, cluster_->num_servers());
+  if (home == id_) {
+    directory_shard_.Unregister(actor, id_);
+  } else {
+    SendControl(home, DirUnregister{.actor = actor, .owner = id_});
+  }
+  location_cache_.Put(actor, dest);
+  SendControl(dest, CacheUpdate{.actor = actor, .owner = dest});
+  return true;
+}
+
+void Server::Crash() {
+  crash_epoch_++;
+  activations_.clear();
+  parked_calls_.clear();
+  pending_calls_.clear();
+  timeout_queue_.clear();
+  open_call_contexts_.clear();
+  location_cache_.Clear();
+}
+
+void Server::RetainContext(void* key, std::shared_ptr<void> context) {
+  open_call_contexts_.emplace(key, std::move(context));
+}
+
+std::shared_ptr<void> Server::ReleaseContext(void* key) {
+  auto it = open_call_contexts_.find(key);
+  if (it == open_call_contexts_.end()) {
+    return nullptr;
+  }
+  std::shared_ptr<void> out = std::move(it->second);
+  open_call_contexts_.erase(it);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Timeouts
+// ---------------------------------------------------------------------------
+
+void Server::SweepTimeouts() {
+  const SimTime now = sim_->now();
+  while (!timeout_queue_.empty() && timeout_queue_.front().first <= now) {
+    const uint64_t seq = timeout_queue_.front().second;
+    timeout_queue_.pop_front();
+    FailPendingCall(seq);
+  }
+  // Retry directory lookups whose answer was lost (e.g. dropped by a
+  // saturated receive queue or a crashed home shard).
+  for (auto& [actor, parked] : parked_calls_) {
+    if (now - parked.since < config_.call_timeout / 3) {
+      continue;
+    }
+    parked.since = now;
+    const ServerId home = DirectoryHomeOf(actor, cluster_->num_servers());
+    const ServerId suggestion = SuggestPlacement(actor);
+    if (home == id_) {
+      const ServerId owner = directory_shard_.LookupOrRegister(actor, suggestion);
+      const ActorId actor_copy = actor;
+      sim_->ScheduleAfter(0, [this, actor_copy, owner] { OnDirectoryAnswer(actor_copy, owner); });
+    } else {
+      SendControl(home, DirLookupRequest{.actor = actor, .suggested_owner = suggestion,
+                                         .request_id = next_exchange_token_++});
+    }
+  }
+}
+
+void Server::FailPendingCall(uint64_t seq) {
+  auto it = pending_calls_.find(seq);
+  if (it == pending_calls_.end()) {
+    return;
+  }
+  PendingCall pending = std::move(it->second);
+  pending_calls_.erase(it);
+  auto act_it = activations_.find(pending.issuer);
+  if (act_it != activations_.end() && act_it->second.pending_subcalls > 0) {
+    act_it->second.pending_subcalls--;
+  }
+  Response response;
+  response.failed = true;
+  sim_->ScheduleAfter(0, [on_response = std::move(pending.on_response), response] {
+    on_response(response);
+  });
+}
+
+}  // namespace actop

@@ -1,0 +1,288 @@
+// A simulated Orleans-style server (silo).
+//
+// Each server runs the paper's SEDA pipeline (Figure 2): a Receive stage
+// (deserialization), a Worker stage (application-logic turns on user-level
+// threads), and two sender stages (ServerSender for inter-server RPCs,
+// ClientSender for client responses), all sharing one CpuModel. It hosts
+// actor activations with turn-based (one call at a time) delivery, a
+// location cache, and one shard of the distributed placement directory.
+//
+// Routing follows Orleans semantics: a call for a non-local actor first
+// consults the location cache, then the actor's home directory shard, which
+// registers a first-writer-wins activation. Stale caches cause bounded
+// forwarding (hops), after which the directory is consulted. Migration is
+// opportunistic (§4.3): deactivate + unregister + prime the caches of the
+// two servers involved; the next call re-activates the actor at the target.
+
+#ifndef SRC_RUNTIME_SERVER_H_
+#define SRC_RUNTIME_SERVER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/actor/actor.h"
+#include "src/actor/directory.h"
+#include "src/actor/location_cache.h"
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/net/network.h"
+#include "src/runtime/message.h"
+#include "src/seda/cpu.h"
+#include "src/seda/stage.h"
+#include "src/seda/thread_host.h"
+#include "src/sim/simulation.h"
+
+namespace actop {
+
+class Cluster;
+
+// How the directory places an actor that has never been activated. (After a
+// deactivation or migration, re-placement follows the paper's §4.3 rule:
+// cache hint if available, otherwise the calling server.)
+enum class PlacementPolicy {
+  kRandom,          // Orleans default: uniform random server
+  kLocal,           // on the first calling server
+  kConsistentHash,  // deterministic hash of the actor id
+};
+
+struct ServerConfig {
+  int cores = 8;
+  double kappa = 0.03;               // CPU context-switch efficiency penalty
+  // Scheduling quantum driving dispatch (ready-state) latency; the dominant
+  // latency term when runnable threads exceed cores (see src/seda/cpu.h).
+  SimDuration dispatch_quantum = Micros(60);
+  int initial_threads_per_stage = 8; // Orleans default: one per core per stage
+  size_t stage_queue_capacity = 200000;
+
+  // Serialization cost model (CPU in the receive/sender stages). The values
+  // are calibrated against the paper's §3 measurements (see EXPERIMENTS.md);
+  // costs scale with message size, which is how the lightweight Counter
+  // messages and the heavyweight Halo game-status payloads differ.
+  SimDuration deserialize_base = Micros(85);
+  double deserialize_ns_per_byte = 250.0;
+  SimDuration serialize_base = Micros(60);
+  double serialize_ns_per_byte = 250.0;
+  // Service-time variability: costs are drawn exponentially around their
+  // mean (matching the bursty behaviour of managed-runtime serialization
+  // and allocation spikes). false = deterministic costs.
+  bool exponential_costs = true;
+
+  // Managed-runtime (GC) pauses: stop-the-world events whose duration grows
+  // with the number of allocated threads. The backlog they create is why a
+  // SEDA server's latency is so sensitive to thread allocation (Fig 4/5).
+  // Set gc_mean_interval to 0 to disable.
+  SimDuration gc_mean_interval = Millis(250);
+  SimDuration gc_base_duration = Millis(4);
+  double gc_per_thread_factor = 0.06;
+  double gc_superlinear_exponent = 1.8;
+
+  SimDuration response_handling_compute = Micros(8);  // continuation turn
+  // Deep copy of LPC arguments (actor isolation): base + per-byte. Far
+  // cheaper than serialization, which pays reflection/allocation costs in
+  // the modeled managed runtime.
+  SimDuration lpc_compute = Micros(8);
+  double lpc_ns_per_byte = 40.0;
+  SimDuration control_compute = Micros(4);            // directory & partition msgs
+  SimDuration activation_compute = Micros(40);        // actor activation turn
+  uint32_t control_bytes = 96;                        // modeled control msg size
+
+  size_t location_cache_capacity = 1 << 17;
+  int max_hops = 3;
+  PlacementPolicy placement = PlacementPolicy::kRandom;
+
+  // In-flight call timeout (failed Response delivered to the continuation);
+  // required for liveness under server crashes and overload drops.
+  SimDuration call_timeout = Seconds(15);
+  SimDuration timeout_sweep_period = Seconds(1);
+};
+
+class Server : public ThreadHost {
+ public:
+  enum StageIndex : int {
+    kReceive = 0,
+    kWorker = 1,
+    kServerSender = 2,
+    kClientSender = 3,
+    kNumStages = 4,
+  };
+
+  Server(Simulation* sim, Cluster* cluster, ServerId id, ServerConfig config, uint64_t seed);
+  ~Server() override;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Called by the Cluster after the network node is registered.
+  void set_node(NodeId node) { node_ = node; }
+  NodeId node() const { return node_; }
+  ServerId id() const { return id_; }
+
+  // Network delivery entry point (wired by the Cluster).
+  void OnNetworkMessage(NodeId from, uint32_t bytes, std::shared_ptr<void> msg);
+
+  // ThreadHost:
+  int num_stages() override { return kNumStages; }
+  Stage& stage(int i) override { return *stages_[static_cast<size_t>(i)]; }
+  int cores() const override { return config_.cores; }
+  void ApplyThreadAllocation(const std::vector<int>& threads) override;
+
+  CpuModel& cpu() { return *cpu_; }
+  LocationCache& location_cache() { return location_cache_; }
+  DirectoryShard& directory_shard() { return directory_shard_; }
+  const ServerConfig& config() const { return config_; }
+
+  // --- Activation queries ---
+  bool IsActive(ActorId actor) const { return activations_.contains(actor); }
+  int64_t num_activations() const { return static_cast<int64_t>(activations_.size()); }
+  // Actors currently active on this server (stable order not guaranteed).
+  std::vector<ActorId> ActiveActors() const;
+
+  // --- Migration (used by the partition agent) ---
+  // True if the actor is active and has no running/queued turn, no open call
+  // context, and no pending sub-call (safe to deactivate).
+  bool IsMigratable(ActorId actor) const;
+  // Deactivates and primes caches so the next call lands on `dest`.
+  // Returns false if the actor is not currently migratable.
+  bool MigrateActor(ActorId actor, ServerId dest);
+  uint64_t migrations_out() const { return migrations_out_; }
+
+  // --- Crash injection ---
+  // Drops every activation, mailbox, parked message and pending call.
+  // In-flight calls from other servers eventually fail via timeouts.
+  void Crash();
+
+  // --- Observability hooks (set by Cluster/agents) ---
+  // Invoked for every actor-to-actor message this server's actors send:
+  // (local actor, peer actor, destination server at send time).
+  using EdgeObserver = std::function<void(ActorId, ActorId, ServerId)>;
+  void set_edge_observer(EdgeObserver observer) { edge_observer_ = std::move(observer); }
+
+  // Invoked at the origin server when an actor-to-actor call completes, with
+  // the call round-trip latency and whether the callee was remote.
+  using CallLatencyObserver = std::function<void(SimDuration, bool remote)>;
+  void set_call_latency_observer(CallLatencyObserver observer) {
+    call_latency_observer_ = std::move(observer);
+  }
+
+  // Partition-protocol control messages are dispatched to these handlers
+  // (wired by the Cluster to the server's PartitionAgent).
+  void set_partition_handlers(
+      std::function<void(ServerId, const PartitionExchangeRequest&)> on_request,
+      std::function<void(ServerId, const PartitionExchangeResponse&)> on_response) {
+    partition_request_handler_ = std::move(on_request);
+    partition_response_handler_ = std::move(on_response);
+  }
+
+  // Sends a runtime control message to another server (or loops back to this
+  // one); used by the partition agent for the exchange protocol.
+  void SendControl(ServerId dest, ControlPayload payload);
+
+  // Lifetime message counters (actor-to-actor application messages only).
+  uint64_t remote_app_messages() const { return remote_app_messages_; }
+  uint64_t local_app_messages() const { return local_app_messages_; }
+  uint64_t activations_started() const { return activations_started_; }
+
+ private:
+  friend class ServerCallContext;
+
+  struct Activation {
+    Actor* instance = nullptr;  // owned by the Cluster's state store
+    bool busy = false;          // a turn is running or queued in the worker stage
+    bool activation_pending = true;  // first turn pays the activation cost
+    int open_contexts = 0;      // delivered calls not yet replied to
+    int pending_subcalls = 0;   // sub-calls awaiting a response
+    std::deque<std::shared_ptr<Envelope>> mailbox;
+  };
+
+  struct ParkedCalls {
+    std::vector<std::shared_ptr<Envelope>> entries;
+    SimTime since = 0;
+  };
+
+  struct PendingCall {
+    ActorId issuer = kNoActor;  // actor awaiting the response (kNoActor: none)
+    std::function<void(const Response&)> on_response;
+    SimTime issued_at = 0;
+    bool remote = false;
+  };
+
+  // -- message paths --
+  void HandleAfterReceive(std::shared_ptr<Envelope> env);
+  void HandleControl(const Envelope& env, NodeId from);
+  void RouteCall(std::shared_ptr<Envelope> env);
+  void ResolveViaDirectory(std::shared_ptr<Envelope> env);
+  void OnDirectoryAnswer(ActorId actor, ServerId owner);
+  void ActivateAndDeliver(std::shared_ptr<Envelope> env);
+  void DeliverLocalCall(std::shared_ptr<Envelope> env);
+  void StartTurn(ActorId actor, std::shared_ptr<Envelope> env);
+  void FinishTurn(ActorId actor);
+  void HandleResponse(std::shared_ptr<Envelope> env);
+
+  // -- sending --
+  void SendToServer(ServerId dest, std::shared_ptr<Envelope> env);
+  void SendToClient(NodeId client_node, std::shared_ptr<Envelope> env);
+  void ForwardCall(std::shared_ptr<Envelope> env, ServerId dest);
+
+  // -- sub-call issue (from call contexts) --
+  void IssueCall(ActorId from_actor, ActorId target, MethodId method, uint64_t app_data,
+                 uint32_t bytes, std::function<void(const Response&)> on_response);
+  void CompleteReply(ActorId from_actor, const Envelope& original_call, uint32_t bytes);
+
+  void RetainContext(void* key, std::shared_ptr<void> context);
+  std::shared_ptr<void> ReleaseContext(void* key);
+
+  ServerId SuggestPlacement(ActorId actor);
+  SimDuration SampleCost(SimDuration mean);
+  SimDuration DeserializeCost(uint32_t bytes);
+  SimDuration SerializeCost(uint32_t bytes);
+  void SweepTimeouts();
+  void FailPendingCall(uint64_t seq);
+  void NoteAppSend(ActorId from, ActorId to, ServerId dest_server, bool remote);
+
+  Simulation* sim_;
+  Cluster* cluster_;
+  const ServerId id_;
+  ServerConfig config_;
+  Rng rng_;
+  NodeId node_ = kNoNode;
+
+  std::unique_ptr<CpuModel> cpu_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+
+  std::unordered_map<ActorId, Activation> activations_;
+  LocationCache location_cache_;
+  DirectoryShard directory_shard_;
+
+  // Calls issued from this node awaiting responses, keyed by sequence.
+  std::unordered_map<uint64_t, PendingCall> pending_calls_;
+  uint64_t next_call_seq_ = 1;
+  std::deque<std::pair<SimTime, uint64_t>> timeout_queue_;
+
+  // Calls parked while a directory lookup is in flight, keyed by actor.
+  std::unordered_map<ActorId, ParkedCalls> parked_calls_;
+  uint64_t next_exchange_token_ = 1;
+
+  // Unreplied call contexts: an actor may Reply() from a sub-call
+  // continuation long after its turn ended, so the runtime keeps the context
+  // alive until then.
+  std::unordered_map<void*, std::shared_ptr<void>> open_call_contexts_;
+
+  EdgeObserver edge_observer_;
+  CallLatencyObserver call_latency_observer_;
+  std::function<void(ServerId, const PartitionExchangeRequest&)> partition_request_handler_;
+  std::function<void(ServerId, const PartitionExchangeResponse&)> partition_response_handler_;
+  uint64_t migrations_out_ = 0;
+  uint64_t remote_app_messages_ = 0;
+  uint64_t local_app_messages_ = 0;
+  uint64_t activations_started_ = 0;
+  uint64_t crash_epoch_ = 0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_RUNTIME_SERVER_H_

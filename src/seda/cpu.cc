@@ -1,0 +1,198 @@
+#include "src/seda/cpu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+namespace {
+// Jobs whose remaining demand falls below this are considered complete.
+// Remaining demands are doubles (ns); half a nanosecond is far below any
+// modeled cost.
+constexpr double kDoneEpsilon = 0.5;
+}  // namespace
+
+CpuModel::CpuModel(Simulation* sim, int cores, double kappa, SimDuration quantum, uint64_t seed)
+    : sim_(sim),
+      cores_(cores),
+      kappa_(kappa),
+      quantum_(quantum),
+      rng_(seed),
+      total_threads_(cores) {
+  ACTOP_CHECK(sim != nullptr);
+  ACTOP_CHECK(cores >= 1);
+  ACTOP_CHECK(kappa >= 0.0);
+  ACTOP_CHECK(quantum >= 0);
+  last_update_ = sim_->now();
+}
+
+double CpuModel::Efficiency() const {
+  const int excess = std::max(0, static_cast<int>(jobs_.size()) - cores_);
+  return 1.0 / (1.0 + kappa_ * static_cast<double>(excess));
+}
+
+double CpuModel::Rate() const {
+  if (paused_) {
+    return 0.0;
+  }
+  const auto n = static_cast<double>(jobs_.size());
+  if (n == 0.0) {
+    return 0.0;
+  }
+  const double share = std::min(1.0, static_cast<double>(cores_) / n);
+  return share * Efficiency();
+}
+
+void CpuModel::AdvanceTo(SimTime t) {
+  ACTOP_CHECK(t >= last_update_);
+  const auto dt = static_cast<double>(t - last_update_);
+  if (dt > 0.0) {
+    if (paused_) {
+      // All cores burn GC work; no job progresses.
+      busy_core_nanos_ += dt * static_cast<double>(cores_);
+    } else if (!jobs_.empty()) {
+      const double rate = Rate();
+      for (Job& job : jobs_) {
+        job.remaining -= dt * rate;
+      }
+      busy_core_nanos_ += dt * std::min<double>(static_cast<double>(jobs_.size()), cores_);
+    }
+  }
+  last_update_ = t;
+}
+
+void CpuModel::Reschedule() {
+  if (pending_completion_ != 0) {
+    sim_->Cancel(pending_completion_);
+    pending_completion_ = 0;
+  }
+  if (jobs_.empty() || paused_) {
+    return;
+  }
+  double min_remaining = jobs_.front().remaining;
+  for (const Job& job : jobs_) {
+    min_remaining = std::min(min_remaining, job.remaining);
+  }
+  const double rate = Rate();
+  ACTOP_CHECK(rate > 0.0);
+  const double wait = std::max(0.0, min_remaining) / rate;
+  pending_completion_ =
+      sim_->ScheduleAfter(static_cast<SimDuration>(std::ceil(wait)), [this] { OnCompletion(); });
+}
+
+void CpuModel::OnCompletion() {
+  pending_completion_ = 0;
+  AdvanceTo(sim_->now());
+  // Collect every job that has finished (ties are possible), then run their
+  // callbacks after the list has been updated: a callback typically starts
+  // the next computation on the same CPU.
+  std::vector<std::function<void()>> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->remaining <= kDoneEpsilon) {
+      done.push_back(std::move(it->done));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  for (auto& fn : done) {
+    fn();
+  }
+}
+
+void CpuModel::BeginCompute(SimDuration demand, std::function<void()> done) {
+  ACTOP_CHECK(done != nullptr);
+  if (demand <= 0) {
+    // Zero-cost work completes immediately but still via the event queue so
+    // that callers never re-enter synchronously.
+    sim_->ScheduleAfter(0, std::move(done));
+    return;
+  }
+  // Dispatch latency: a newly runnable thread waits for a scheduling quantum
+  // when there are more runnable threads than cores.
+  const int over = runnable_jobs() + 1 - cores_;
+  if (quantum_ > 0 && over > 0) {
+    const double mean = static_cast<double>(quantum_) * static_cast<double>(over) /
+                        static_cast<double>(cores_);
+    const auto delay = static_cast<SimDuration>(rng_.NextExp(mean) + 0.5);
+    ready_jobs_++;
+    sim_->ScheduleAfter(delay, [this, demand, done = std::move(done)]() mutable {
+      ready_jobs_--;
+      StartJob(demand, std::move(done));
+    });
+    return;
+  }
+  StartJob(demand, std::move(done));
+}
+
+void CpuModel::StartJob(SimDuration demand, std::function<void()> done) {
+  AdvanceTo(sim_->now());
+  jobs_.push_back(Job{static_cast<double>(demand), std::move(done)});
+  Reschedule();
+}
+
+void CpuModel::set_total_threads(int total_threads) {
+  ACTOP_CHECK(total_threads >= 1);
+  total_threads_ = total_threads;
+}
+
+void CpuModel::EnablePauses(SimDuration mean_interval, SimDuration base_duration,
+                            double per_thread_factor, double exponent) {
+  ACTOP_CHECK(mean_interval > 0);
+  ACTOP_CHECK(base_duration >= 0);
+  ACTOP_CHECK(per_thread_factor >= 0.0);
+  ACTOP_CHECK(exponent >= 1.0);
+  ACTOP_CHECK(!pauses_enabled_);
+  pauses_enabled_ = true;
+  pause_mean_interval_ = mean_interval;
+  pause_base_duration_ = base_duration;
+  pause_per_thread_factor_ = per_thread_factor;
+  pause_exponent_ = exponent;
+  SchedulePause();
+}
+
+void CpuModel::SchedulePause() {
+  const auto gap = static_cast<SimDuration>(
+      rng_.NextExp(static_cast<double>(pause_mean_interval_)) + 0.5);
+  sim_->ScheduleAfter(gap, [this] { BeginPause(); });
+}
+
+void CpuModel::BeginPause() {
+  AdvanceTo(sim_->now());
+  paused_ = true;
+  Reschedule();  // cancels the pending completion while paused
+  const int excess = std::max(0, total_threads_ - cores_);
+  const double growth =
+      std::pow(1.0 + pause_per_thread_factor_ * static_cast<double>(excess), pause_exponent_);
+  const auto duration =
+      static_cast<SimDuration>(static_cast<double>(pause_base_duration_) * growth);
+  sim_->ScheduleAfter(duration, [this] { EndPause(); });
+}
+
+void CpuModel::EndPause() {
+  AdvanceTo(sim_->now());
+  paused_ = false;
+  Reschedule();
+  SchedulePause();
+}
+
+double CpuModel::busy_core_nanos() const {
+  // Include the in-progress interval so callers sampling mid-run see smooth
+  // utilization.
+  double busy = busy_core_nanos_;
+  const auto dt = static_cast<double>(sim_->now() - last_update_);
+  if (dt > 0.0) {
+    if (paused_) {
+      busy += dt * static_cast<double>(cores_);
+    } else if (!jobs_.empty()) {
+      busy += dt * std::min<double>(static_cast<double>(jobs_.size()), cores_);
+    }
+  }
+  return busy;
+}
+
+}  // namespace actop

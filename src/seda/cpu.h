@@ -1,0 +1,133 @@
+// Processor-sharing CPU model for a simulated server.
+//
+// A server has `cores` physical processors shared by all SEDA-stage threads.
+// Starting a computation has two parts:
+//
+//  1. Dispatch (ready-state) latency: when more threads are runnable than
+//     there are cores, a newly runnable thread waits for a scheduling
+//     quantum. The delay is sampled exponentially with mean
+//         quantum * max(0, runnable - cores) / cores.
+//     This is the dominant latency term in SEDA servers with per-stage
+//     thread pools (the paper's Figure 4: queue/ready time dwarfs the
+//     microsecond-scale processing) and is what makes over-allocation of
+//     threads expensive (Figure 5).
+//
+//  2. Processor sharing: computing jobs progress at rate
+//         min(1, cores / computing) / (1 + kappa * max(0, computing - cores))
+//     where the second factor models context-switch and cache-thrash
+//     overhead. The sharing is exact (event-driven): whenever the set of
+//     running computations changes, remaining demands are advanced and the
+//     next completion is re-scheduled.
+//
+// The ready-state delay plus sharing stretch is exactly the r (ready time)
+// of the paper's Figure 9; blocking time w is modeled at the Stage level.
+//
+// Optionally the CPU models managed-runtime (GC) pauses: stop-the-world
+// events at exponential intervals whose duration grows with the number of
+// allocated threads (suspending more threads takes longer and more thread
+// stacks mean more GC roots). Pauses create the backlog spikes that make a
+// SEDA server's latency so sensitive to its thread allocation — the
+// phenomenon behind the paper's Figures 4 and 5.
+
+#ifndef SRC_SEDA_CPU_H_
+#define SRC_SEDA_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/sim/simulation.h"
+
+namespace actop {
+
+class CpuModel {
+ public:
+  // kappa: per-excess-thread efficiency penalty; quantum: scheduling quantum
+  // driving dispatch latency (0 disables it); seed: for the dispatch-delay
+  // sampler (see file comment).
+  CpuModel(Simulation* sim, int cores, double kappa, SimDuration quantum = 0, uint64_t seed = 1);
+
+  CpuModel(const CpuModel&) = delete;
+  CpuModel& operator=(const CpuModel&) = delete;
+
+  // Starts a computation with the given CPU demand (in ns of dedicated-core
+  // time). `done` runs when the computation completes; the wallclock taken is
+  // >= demand and depends on concurrent load. Returns an opaque job count.
+  void BeginCompute(SimDuration demand, std::function<void()> done);
+
+  // Total threads allocated on this server (across all stages). Bookkeeping
+  // only: the over-subscription penalty depends on *active* computations
+  // (allocated-but-idle threads are parked and cost nothing).
+  void set_total_threads(int total_threads);
+  int total_threads() const { return total_threads_; }
+
+  int cores() const { return cores_; }
+  // Jobs currently computing (on-CPU, sharing cores).
+  int active_jobs() const { return static_cast<int>(jobs_.size()); }
+  // Jobs runnable: waiting for a scheduling quantum plus computing.
+  int runnable_jobs() const { return ready_jobs_ + static_cast<int>(jobs_.size()); }
+
+  // Busy core-nanoseconds accumulated since construction. `utilization` over
+  // a window is (busy_core_nanos delta) / (cores * window).
+  // Time stretched by the over-subscription penalty counts as busy: the
+  // wasted cycles are real CPU work (context switches) in the modeled system.
+  double busy_core_nanos() const;
+
+  // Current per-job progress rate in (0, 1]; exposed for tests.
+  double current_rate() const { return Rate(); }
+
+  // Enables stop-the-world pauses: exponential inter-pause intervals with
+  // the given mean; each pause lasts
+  //   base_duration * (1 + per_thread_factor * max(0, total_threads-cores))^exponent
+  // (suspension cost scales with threads; heap live-set scan superlinearly
+  // with in-flight work). During a pause no job progresses and all cores
+  // count as busy (GC work).
+  void EnablePauses(SimDuration mean_interval, SimDuration base_duration,
+                    double per_thread_factor, double exponent = 1.0);
+
+  bool paused() const { return paused_; }
+
+ private:
+  struct Job {
+    double remaining;  // ns of demanded core time still owed
+    std::function<void()> done;
+  };
+
+  using JobList = std::list<Job>;
+
+  double Efficiency() const;
+  double Rate() const;  // per-job progress per wallclock ns
+  void AdvanceTo(SimTime t);
+  void Reschedule();
+  void OnCompletion();
+  void StartJob(SimDuration demand, std::function<void()> done);
+  void SchedulePause();
+  void BeginPause();
+  void EndPause();
+
+  Simulation* sim_;
+  const int cores_;
+  const double kappa_;
+  const SimDuration quantum_;
+  Rng rng_;
+  int total_threads_;
+  int ready_jobs_ = 0;
+  JobList jobs_;
+  SimTime last_update_ = 0;
+  EventId pending_completion_ = 0;
+  double busy_core_nanos_ = 0.0;
+
+  // GC-pause modeling.
+  bool pauses_enabled_ = false;
+  bool paused_ = false;
+  SimDuration pause_mean_interval_ = 0;
+  SimDuration pause_base_duration_ = 0;
+  double pause_per_thread_factor_ = 0.0;
+  double pause_exponent_ = 1.0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_SEDA_CPU_H_

@@ -1,0 +1,109 @@
+#include "src/seda/stage.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+Stage::Stage(Simulation* sim, CpuModel* cpu, std::string name, int threads,
+             size_t queue_capacity)
+    : sim_(sim),
+      cpu_(cpu),
+      name_(std::move(name)),
+      threads_(threads),
+      queue_capacity_(queue_capacity) {
+  ACTOP_CHECK(sim != nullptr);
+  ACTOP_CHECK(cpu != nullptr);
+  ACTOP_CHECK(threads >= 1);
+  last_queue_account_ = sim_->now();
+}
+
+void Stage::AccountQueueLength() {
+  const SimTime now = sim_->now();
+  const auto dt = static_cast<double>(now - last_queue_account_);
+  if (dt > 0.0) {
+    window_.queue_len_time_integral += dt * static_cast<double>(queue_.size());
+  }
+  last_queue_account_ = now;
+}
+
+void Stage::Enqueue(StageEvent event) {
+  window_.arrivals++;
+  if (queue_.size() >= queue_capacity_) {
+    window_.rejections++;
+    total_rejections_++;
+    if (event.rejected) {
+      // Deliver the rejection through the event queue to avoid synchronous
+      // re-entry into the caller.
+      sim_->ScheduleAfter(0, std::move(event.rejected));
+    }
+    return;
+  }
+  AccountQueueLength();
+  queue_.push_back(QueuedEvent{std::move(event), sim_->now()});
+  MaybeStartService();
+}
+
+void Stage::MaybeStartService() {
+  while (busy_ < threads_ && !queue_.empty()) {
+    AccountQueueLength();
+    QueuedEvent qe = std::move(queue_.front());
+    queue_.pop_front();
+    StartService(std::move(qe));
+  }
+}
+
+void Stage::StartService(QueuedEvent&& qe) {
+  busy_++;
+  const SimTime now = sim_->now();
+  window_.sum_queue_wait += static_cast<double>(now - qe.enqueue_time);
+  const SimDuration compute = qe.event.compute;
+  const SimDuration blocking = qe.event.blocking;
+  auto done = std::move(qe.event.done);
+  cpu_->BeginCompute(
+      compute, [this, service_start = now, compute, blocking, done = std::move(done)]() mutable {
+        if (blocking > 0) {
+          sim_->ScheduleAfter(blocking,
+                              [this, service_start, compute, blocking,
+                               done = std::move(done)]() mutable {
+                                FinishService(service_start, compute, blocking, std::move(done));
+                              });
+        } else {
+          FinishService(service_start, compute, blocking, std::move(done));
+        }
+      });
+}
+
+void Stage::FinishService(SimTime service_start, SimDuration compute, SimDuration blocking,
+                          std::function<void()> done) {
+  const SimTime now = sim_->now();
+  window_.completions++;
+  total_completions_++;
+  window_.sum_wallclock += static_cast<double>(now - service_start);
+  window_.sum_compute += static_cast<double>(compute);
+  window_.sum_blocking += static_cast<double>(blocking);
+  ACTOP_CHECK(busy_ > 0);
+  busy_--;
+  // Start the next queued event before running the continuation so that a
+  // continuation enqueueing into this same stage observes a consistent state.
+  MaybeStartService();
+  if (done) {
+    done();
+  }
+}
+
+void Stage::set_threads(int threads) {
+  ACTOP_CHECK(threads >= 1);
+  threads_ = threads;
+  MaybeStartService();
+}
+
+StageWindow Stage::TakeWindow() {
+  AccountQueueLength();
+  StageWindow out = window_;
+  window_ = StageWindow{};
+  return out;
+}
+
+}  // namespace actop

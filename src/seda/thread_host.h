@@ -1,0 +1,46 @@
+// Interface between a SEDA server and a thread-allocation controller.
+//
+// Both the generic Emulator (used for the paper's Figure 7 experiment) and
+// the full actor-runtime Server implement this, so the controllers in
+// src/core (closed-form allocator, queue-length baseline) are written once.
+
+#ifndef SRC_SEDA_THREAD_HOST_H_
+#define SRC_SEDA_THREAD_HOST_H_
+
+#include <vector>
+
+#include "src/seda/stage.h"
+
+namespace actop {
+
+class ThreadHost {
+ public:
+  virtual ~ThreadHost() = default;
+
+  // Number of SEDA stages (K in the paper's notation).
+  virtual int num_stages() = 0;
+
+  // Stage accessor; index in [0, num_stages()).
+  virtual Stage& stage(int i) = 0;
+
+  // Number of physical cores (p in the paper's notation).
+  virtual int cores() const = 0;
+
+  // Applies a new thread allocation (one entry per stage, each >= 1) and
+  // updates the shared CPU model's total thread count.
+  virtual void ApplyThreadAllocation(const std::vector<int>& threads) = 0;
+
+  // Current allocation.
+  std::vector<int> CurrentThreads() {
+    std::vector<int> out;
+    out.reserve(static_cast<size_t>(num_stages()));
+    for (int i = 0; i < num_stages(); i++) {
+      out.push_back(stage(i).threads());
+    }
+    return out;
+  }
+};
+
+}  // namespace actop
+
+#endif  // SRC_SEDA_THREAD_HOST_H_

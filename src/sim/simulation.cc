@@ -1,0 +1,106 @@
+#include "src/sim/simulation.h"
+
+#include <memory>
+#include <utility>
+
+namespace actop {
+
+EventId Simulation::ScheduleAt(SimTime when, std::function<void()> fn) {
+  ACTOP_CHECK(when >= now_);
+  ACTOP_CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Simulation::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) {
+    return false;
+  }
+  // Lazy cancellation: the event stays in the heap and is skipped when popped.
+  return cancelled_.insert(id).second;
+}
+
+EventId Simulation::SchedulePeriodic(SimDuration period, std::function<void()> fn) {
+  ACTOP_CHECK(period > 0);
+  ACTOP_CHECK(fn != nullptr);
+  // Periodic tasks get their own id space entry so that cancellation survives
+  // across re-scheduling of the underlying one-shot events.
+  const EventId control_id = next_id_++;
+  auto tick = std::make_shared<std::function<void()>>();
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  *tick = [this, control_id, period, tick, shared_fn]() {
+    if (cancelled_periodics_.contains(control_id)) {
+      cancelled_periodics_.erase(control_id);
+      return;
+    }
+    (*shared_fn)();
+    if (cancelled_periodics_.contains(control_id)) {
+      cancelled_periodics_.erase(control_id);
+      return;
+    }
+    ScheduleAfter(period, *tick);
+  };
+  ScheduleAfter(period, *tick);
+  return control_id;
+}
+
+void Simulation::CancelPeriodic(EventId id) { cancelled_periodics_.insert(id); }
+
+void Simulation::Dispatch(Event& ev) {
+  ACTOP_CHECK(ev.when >= now_);
+  now_ = ev.when;
+  events_executed_++;
+  // Move the callback out before running it: the callback may schedule new
+  // events, which can reallocate the heap storage.
+  std::function<void()> fn = std::move(ev.fn);
+  fn();
+}
+
+bool Simulation::RunOne() {
+  while (!queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    Dispatch(ev);
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulation::Run() {
+  uint64_t n = 0;
+  while (RunOne()) {
+    n++;
+  }
+  return n;
+}
+
+uint64_t Simulation::RunUntil(SimTime deadline) {
+  ACTOP_CHECK(deadline >= now_);
+  uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Prune cancelled events from the top so the deadline check below sees
+    // the next event that would actually run.
+    const Event& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) {
+      break;
+    }
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    Dispatch(ev);
+    n++;
+  }
+  now_ = deadline;
+  return n;
+}
+
+}  // namespace actop

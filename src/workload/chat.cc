@@ -1,0 +1,195 @@
+#include "src/workload/chat.h"
+
+#include <utility>
+
+#include "src/actor/actor.h"
+#include "src/common/check.h"
+
+namespace actop {
+
+namespace {
+
+class ChatUserActor : public Actor {
+ public:
+  ChatUserActor(std::shared_ptr<ChatState> state, const ChatWorkloadConfig* config)
+      : state_(std::move(state)), config_(config) {}
+
+  void OnCall(CallContext& ctx) override {
+    switch (ctx.method()) {
+      case kPostMessage: {
+        if (room_ == kNoActor) {
+          ctx.Reply(16);
+          return;
+        }
+        CallContext* call = &ctx;
+        ctx.Call(room_, kBroadcast, config_->message_bytes, [call, this](const Response&) {
+          state_->messages_posted++;
+          call->Reply(32);
+        });
+        return;
+      }
+      case kNotify: {
+        state_->notifications++;
+        ctx.Reply(16);
+        return;
+      }
+      case kJoinRoom: {
+        const uint64_t room_key = ctx.app_data();
+        const ActorId new_room =
+            room_key == 0 ? kNoActor : MakeActorId(kChatRoomActorType, room_key);
+        const ActorId old_room = room_;
+        room_ = new_room;
+        const uint64_t my_key = ActorKeyOf(ctx.self());
+        auto remaining = std::make_shared<int>((old_room != kNoActor ? 1 : 0) +
+                                               (new_room != kNoActor ? 1 : 0));
+        if (*remaining == 0) {
+          ctx.Reply(16);
+          return;
+        }
+        CallContext* call = &ctx;
+        auto step = [call, remaining](const Response&) {
+          if (--*remaining == 0) {
+            call->Reply(16);
+          }
+        };
+        if (old_room != kNoActor) {
+          ctx.CallWithData(old_room, kRemoveMember, my_key, 64, step);
+        }
+        if (new_room != kNoActor) {
+          ctx.CallWithData(new_room, kAddMember, my_key, 64, step);
+        }
+        return;
+      }
+      default:
+        ctx.Reply(16);
+    }
+  }
+
+ private:
+  std::shared_ptr<ChatState> state_;
+  const ChatWorkloadConfig* config_;
+  ActorId room_ = kNoActor;
+};
+
+class ChatRoomActor : public Actor {
+ public:
+  ChatRoomActor(std::shared_ptr<ChatState> state, const ChatWorkloadConfig* config)
+      : state_(std::move(state)), config_(config) {}
+
+  void OnCall(CallContext& ctx) override {
+    switch (ctx.method()) {
+      case kBroadcast: {
+        if (members_.empty()) {
+          ctx.Reply(16);
+          return;
+        }
+        // Fan the message out one-way: chat delivery does not block the
+        // poster on every member ack.
+        for (const ActorId member : members_) {
+          if (member != ctx.caller()) {
+            ctx.CallOneWay(member, kNotify, config_->message_bytes);
+          }
+        }
+        ctx.AddCompute(static_cast<SimDuration>(members_.size()) * Micros(2));
+        ctx.Reply(32);
+        return;
+      }
+      case kAddMember: {
+        members_.push_back(MakeActorId(kChatUserActorType, ctx.app_data()));
+        ctx.Reply(16);
+        return;
+      }
+      case kRemoveMember: {
+        const ActorId user = MakeActorId(kChatUserActorType, ctx.app_data());
+        for (size_t i = 0; i < members_.size(); i++) {
+          if (members_[i] == user) {
+            members_[i] = members_.back();
+            members_.pop_back();
+            break;
+          }
+        }
+        ctx.Reply(16);
+        return;
+      }
+      default:
+        ctx.Reply(16);
+    }
+  }
+
+ private:
+  std::shared_ptr<ChatState> state_;
+  const ChatWorkloadConfig* config_;
+  std::vector<ActorId> members_;
+};
+
+}  // namespace
+
+ChatWorkload::ChatWorkload(Cluster* cluster, ChatWorkloadConfig config)
+    : cluster_(cluster),
+      config_(config),
+      rng_(config.seed),
+      state_(std::make_shared<ChatState>()),
+      clients_(&cluster->sim(), cluster,
+               ClientConfig{.request_rate = config.message_rate,
+                            .request_bytes = config.message_bytes,
+                            .seed = config.seed ^ 0xabc},
+               [this](Rng& rng, ActorId* target, MethodId* method) {
+                 return PickTarget(rng, target, method);
+               }),
+      driver_(&cluster->sim(), cluster, config.seed ^ 0xdef) {
+  ACTOP_CHECK(cluster != nullptr);
+  ACTOP_CHECK(config_.num_rooms >= 1);
+
+  CostModel user_costs;
+  user_costs.handler_compute = config_.user_compute;
+  cluster_->RegisterActorType(
+      kChatUserActorType,
+      [this](ActorId) { return std::make_unique<ChatUserActor>(state_, &config_); }, user_costs);
+
+  CostModel room_costs;
+  room_costs.handler_compute = config_.room_compute;
+  cluster_->RegisterActorType(
+      kChatRoomActorType,
+      [this](ActorId) { return std::make_unique<ChatRoomActor>(state_, &config_); }, room_costs);
+}
+
+bool ChatWorkload::PickTarget(Rng& rng, ActorId* target, MethodId* method) {
+  *target = MakeActorId(kChatUserActorType,
+                        rng.NextBounded(static_cast<uint64_t>(config_.num_users)) + 1);
+  *method = kPostMessage;
+  return true;
+}
+
+void ChatWorkload::Start() {
+  ACTOP_CHECK(!running_);
+  running_ = true;
+  user_room_.assign(static_cast<size_t>(config_.num_users) + 1, 0);
+  for (int u = 1; u <= config_.num_users; u++) {
+    const uint64_t room =
+        rng_.NextBounded(static_cast<uint64_t>(config_.num_rooms)) + 1;
+    user_room_[static_cast<size_t>(u)] = room;
+    driver_.Call(MakeActorId(kChatUserActorType, static_cast<uint64_t>(u)), kJoinRoom, room, 64,
+                 nullptr);
+  }
+  clients_.Start();
+  cluster_->sim().SchedulePeriodic(config_.rehome_period, [this] { RehomeSomeUsers(); });
+}
+
+void ChatWorkload::Stop() {
+  running_ = false;
+  clients_.Stop();
+}
+
+void ChatWorkload::RehomeSomeUsers() {
+  if (!running_) {
+    return;
+  }
+  for (int i = 0; i < config_.rehomes_per_period; i++) {
+    const uint64_t user = rng_.NextBounded(static_cast<uint64_t>(config_.num_users)) + 1;
+    const uint64_t room = rng_.NextBounded(static_cast<uint64_t>(config_.num_rooms)) + 1;
+    user_room_[user] = room;
+    driver_.Call(MakeActorId(kChatUserActorType, user), kJoinRoom, room, 64, nullptr);
+  }
+}
+
+}  // namespace actop

@@ -1,0 +1,51 @@
+// Counter micro-benchmark (§3, Figures 4 and 5).
+//
+// "A simple counter application where in response to a client request an
+// actor increments a counter." One actor per counter; clients hit uniformly
+// random counters. Single-server setup: all counters are placed on server 0
+// via the kLocal placement warm-up.
+
+#ifndef SRC_WORKLOAD_COUNTER_H_
+#define SRC_WORKLOAD_COUNTER_H_
+
+#include <cstdint>
+
+#include "src/common/ids.h"
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+
+namespace actop {
+
+inline constexpr ActorType kCounterActorType = 1;
+
+struct CounterWorkloadConfig {
+  int num_actors = 8000;          // paper: 8K actors
+  double request_rate = 15000.0;  // paper: 15K req/s
+  uint32_t request_bytes = 150;
+  uint32_t response_bytes = 100;
+  SimDuration handler_compute = Micros(25);
+  uint64_t seed = 17;
+};
+
+class CounterWorkload {
+ public:
+  CounterWorkload(Cluster* cluster, CounterWorkloadConfig config);
+
+  // Begins client traffic.
+  void Start();
+  void Stop();
+
+  ClientPool& clients() { return clients_; }
+
+  // Sum of all counters (test oracle: must equal completed requests).
+  uint64_t TotalCount() const;
+
+ private:
+  Cluster* cluster_;
+  CounterWorkloadConfig config_;
+  ClientPool clients_;
+};
+
+}  // namespace actop
+
+#endif  // SRC_WORKLOAD_COUNTER_H_

@@ -1,0 +1,297 @@
+#include "src/workload/halo_presence.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/actor/actor.h"
+#include "src/common/check.h"
+
+namespace actop {
+
+namespace {
+
+// A player: knows its current game; answers status queries by asking the
+// game, and answers the game's broadcast updates directly.
+class PlayerActor : public Actor {
+ public:
+  PlayerActor(ActorId id, std::shared_ptr<HaloState> state, const HaloWorkloadConfig* config)
+      : id_(id), state_(std::move(state)), config_(config) {}
+
+  void OnCall(CallContext& ctx) override {
+    switch (ctx.method()) {
+      case kGetStatus: {
+        if (current_game_ == kNoActor) {
+          ctx.Reply(64);  // idle player: no game to consult
+          return;
+        }
+        // Capture the context by raw call through the runtime-held pointer;
+        // the runtime keeps the context alive until Reply.
+        CallContext* call = &ctx;
+        ctx.Call(current_game_, kGameStatus, config_->request_bytes,
+                 [call, this](const Response& response) {
+                   call->Reply(response.failed ? 16 : config_->status_bytes);
+                 });
+        return;
+      }
+      case kSetGame: {
+        const uint64_t game_key = ctx.app_data();
+        current_game_ =
+            game_key == 0 ? kNoActor : MakeActorId(kGameActorType, game_key);
+        ctx.Reply(16);
+        return;
+      }
+      case kUpdate: {
+        state_->updates++;
+        ctx.Reply(32);
+        return;
+      }
+      default:
+        ctx.Reply(16);
+    }
+  }
+
+  ActorId current_game() const { return current_game_; }
+
+ private:
+  ActorId id_;
+  std::shared_ptr<HaloState> state_;
+  const HaloWorkloadConfig* config_;
+  ActorId current_game_ = kNoActor;
+};
+
+// A game: holds the member roster; fans status requests out to all members
+// and replies after every member responded (the 1 + 8 + 8 + 1 pattern).
+class GameActor : public Actor {
+ public:
+  GameActor(ActorId id, std::shared_ptr<HaloState> state, const HaloWorkloadConfig* config)
+      : id_(id), state_(std::move(state)), config_(config) {}
+
+  void OnCall(CallContext& ctx) override {
+    switch (ctx.method()) {
+      case kGameStatus: {
+        if (members_.empty()) {
+          ctx.Reply(config_->status_bytes);
+          return;
+        }
+        auto remaining = std::make_shared<int>(static_cast<int>(members_.size()));
+        CallContext* call = &ctx;
+        for (const ActorId member : members_) {
+          ctx.Call(member, kUpdate, config_->update_bytes,
+                   [call, remaining, this](const Response&) {
+                     if (--*remaining == 0) {
+                       state_->broadcasts++;
+                       call->Reply(config_->status_bytes);
+                     }
+                   });
+        }
+        return;
+      }
+      case kStartGame: {
+        const uint64_t game_key = ActorKeyOf(ctx.self());
+        auto roster_it = state_->rosters.find(game_key);
+        ACTOP_CHECK(roster_it != state_->rosters.end());
+        members_ = roster_it->second;
+        auto remaining = std::make_shared<int>(static_cast<int>(members_.size()));
+        CallContext* call = &ctx;
+        for (const ActorId member : members_) {
+          ctx.CallWithData(member, kSetGame, game_key, 64,
+                           [call, remaining](const Response&) {
+                             if (--*remaining == 0) {
+                               call->Reply(16);
+                             }
+                           });
+        }
+        return;
+      }
+      case kEndGame: {
+        if (members_.empty()) {
+          ctx.Reply(16);
+          return;
+        }
+        auto remaining = std::make_shared<int>(static_cast<int>(members_.size()));
+        members_.clear();
+        const uint64_t game_key = ActorKeyOf(ctx.self());
+        auto roster_it = state_->rosters.find(game_key);
+        ACTOP_CHECK(roster_it != state_->rosters.end());
+        CallContext* call = &ctx;
+        for (const ActorId member : roster_it->second) {
+          ctx.CallWithData(member, kSetGame, 0, 64, [call, remaining](const Response&) {
+            if (--*remaining == 0) {
+              call->Reply(16);
+            }
+          });
+        }
+        state_->rosters.erase(roster_it);
+        return;
+      }
+      default:
+        ctx.Reply(16);
+    }
+  }
+
+ private:
+  ActorId id_;
+  std::shared_ptr<HaloState> state_;
+  const HaloWorkloadConfig* config_;
+  std::vector<ActorId> members_;
+};
+
+}  // namespace
+
+HaloWorkload::HaloWorkload(Cluster* cluster, HaloWorkloadConfig config)
+    : cluster_(cluster),
+      config_(config),
+      rng_(config.seed),
+      state_(std::make_shared<HaloState>()),
+      clients_(&cluster->sim(), cluster,
+               ClientConfig{.request_rate = config.request_rate,
+                            .request_bytes = config.request_bytes,
+                            .seed = config.seed ^ 0x1234},
+               [this](Rng& rng, ActorId* target, MethodId* method) {
+                 return PickTarget(rng, target, method);
+               }),
+      driver_(&cluster->sim(), cluster, config.seed ^ 0x5678) {
+  ACTOP_CHECK(cluster != nullptr);
+  ACTOP_CHECK(config_.players_per_game >= 2);
+
+  CostModel player_costs;
+  player_costs.handler_compute = config_.player_compute;
+  cluster_->RegisterActorType(
+      kPlayerActorType,
+      [this](ActorId id) { return std::make_unique<PlayerActor>(id, state_, &config_); },
+      player_costs);
+
+  CostModel game_costs;
+  game_costs.handler_compute = config_.game_compute;
+  cluster_->RegisterActorType(
+      kGameActorType,
+      [this](ActorId id) { return std::make_unique<GameActor>(id, state_, &config_); },
+      game_costs);
+}
+
+HaloWorkload::~HaloWorkload() = default;
+
+bool HaloWorkload::PickTarget(Rng& rng, ActorId* target, MethodId* method) {
+  if (in_game_players_.empty()) {
+    return false;
+  }
+  *target = in_game_players_[rng.NextBounded(in_game_players_.size())];
+  *method = kGetStatus;
+  return true;
+}
+
+SimDuration HaloWorkload::ScaledUniform(SimDuration lo, SimDuration hi) {
+  const SimDuration raw = rng_.NextUniformDuration(lo, hi);
+  return static_cast<SimDuration>(static_cast<double>(raw) * config_.time_scale);
+}
+
+void HaloWorkload::AddNewPlayer() {
+  const ActorId player = MakeActorId(kPlayerActorType, next_player_key_++);
+  PlayerInfo info;
+  info.games_left =
+      static_cast<int>(rng_.NextInt(config_.min_games_per_player, config_.max_games_per_player));
+  player_game_.emplace(player, info);
+  idle_pool_.push_back(player);
+}
+
+void HaloWorkload::Start() {
+  ACTOP_CHECK(!running_);
+  running_ = true;
+  for (int i = 0; i < config_.target_players; i++) {
+    AddNewPlayer();
+  }
+  TryFormGames();
+  first_generation_ = false;
+}
+
+void HaloWorkload::Stop() {
+  running_ = false;
+  clients_.Stop();
+}
+
+void HaloWorkload::TryFormGames() {
+  if (!running_) {
+    return;
+  }
+  // Keep roughly idle_pool_target players waiting; everyone else plays.
+  while (static_cast<int>(idle_pool_.size()) >=
+         std::max(config_.players_per_game, config_.idle_pool_target)) {
+    std::vector<ActorId> members;
+    members.reserve(static_cast<size_t>(config_.players_per_game));
+    for (int i = 0; i < config_.players_per_game; i++) {
+      const size_t pick = idle_pool_.size() == 1
+                              ? 0
+                              : static_cast<size_t>(rng_.NextBounded(idle_pool_.size()));
+      members.push_back(idle_pool_[pick]);
+      idle_pool_[pick] = idle_pool_.back();
+      idle_pool_.pop_back();
+    }
+    StartGame(std::move(members));
+  }
+  // Start the client load once the first games exist.
+  if (!in_game_players_.empty() && !started_clients_) {
+    started_clients_ = true;
+    clients_.Start();
+  }
+}
+
+void HaloWorkload::StartGame(std::vector<ActorId> members) {
+  const uint64_t game_key = next_game_key_++;
+  const ActorId game = MakeActorId(kGameActorType, game_key);
+  state_->rosters[game_key] = members;
+  for (const ActorId member : members) {
+    player_game_[member].in_game = true;
+    in_game_index_[member] = in_game_players_.size();
+    in_game_players_.push_back(member);
+  }
+  active_games_++;
+  games_started_++;
+  driver_.Call(game, kStartGame, game_key, 256, nullptr);
+  SimDuration duration = ScaledUniform(config_.game_duration_min, config_.game_duration_max);
+  if (first_generation_) {
+    // The initial population joins a system already in operation: treat the
+    // first generation of games as being at a uniformly random point of
+    // their lifetime, so game endings are desynchronized from the start.
+    duration = rng_.NextUniformDuration(Seconds(1), std::max<SimDuration>(duration, Seconds(2)));
+  }
+  cluster_->sim().ScheduleAfter(duration, [this, game_key, members = std::move(members)] {
+    FinishGame(game_key, members);
+  });
+}
+
+void HaloWorkload::FinishGame(uint64_t game_key, std::vector<ActorId> members) {
+  if (!running_) {
+    return;
+  }
+  const ActorId game = MakeActorId(kGameActorType, game_key);
+  driver_.Call(game, kEndGame, game_key, 128, nullptr);
+  active_games_--;
+  for (const ActorId member : members) {
+    // Remove from the in-game sampling vector (swap-remove via index map).
+    if (auto idx_it = in_game_index_.find(member); idx_it != in_game_index_.end()) {
+      const size_t idx = idx_it->second;
+      const ActorId moved = in_game_players_.back();
+      in_game_players_[idx] = moved;
+      in_game_players_.pop_back();
+      in_game_index_[moved] = idx;
+      in_game_index_.erase(member);
+      if (moved == member && idx < in_game_players_.size()) {
+        // member was the last element; nothing else to fix up
+      }
+    }
+    PlayerInfo& info = player_game_[member];
+    info.in_game = false;
+    info.games_left--;
+    if (info.games_left <= 0) {
+      // Departure + replacement arrival keeps the population at target.
+      player_game_.erase(member);
+      players_departed_++;
+      AddNewPlayer();
+    } else {
+      idle_pool_.push_back(member);
+    }
+  }
+  TryFormGames();
+}
+
+}  // namespace actop

@@ -1,0 +1,133 @@
+// Halo Presence workload (§3 and §6.1).
+//
+// Presence service for a multi-player game: games and players are actors.
+// Per client status request about a player p in game g:
+//     client -> p.GetStatus -> g.GetGameStatus -> broadcast Update to the
+//     game's 8 players -> 8 replies -> g replies -> p replies -> client,
+// i.e. 18 actor-to-actor messages per request, matching the paper.
+//
+// Session dynamics (§6.1, durations time-scaled by `time_scale`):
+//   * idle players sit in a matchmaking pool; 8 random players start a game;
+//   * game duration uniform in [20, 30] minutes;
+//   * a player plays 3–5 games, then leaves and is replaced by a fresh
+//     arrival (keeping the concurrent-player population at the target);
+//   * the resulting communication-graph churn is ~1% of edges per scaled
+//     minute, the paper's figure.
+//
+// Matchmaking runs on a driver node (DirectClient) issuing StartGame /
+// EndGame calls; the game actor then calls SetGame on each member, so all
+// membership changes flow through real messages and are visible to the
+// edge monitor.
+
+#ifndef SRC_WORKLOAD_HALO_PRESENCE_H_
+#define SRC_WORKLOAD_HALO_PRESENCE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+
+namespace actop {
+
+inline constexpr ActorType kPlayerActorType = 3;
+inline constexpr ActorType kGameActorType = 4;
+
+// Player methods.
+inline constexpr MethodId kGetStatus = 0;   // client entry point
+inline constexpr MethodId kSetGame = 1;     // game -> player (app_data = game id or 0)
+inline constexpr MethodId kUpdate = 2;      // game -> player broadcast
+// Game methods.
+inline constexpr MethodId kGameStatus = 0;  // player -> game
+inline constexpr MethodId kStartGame = 1;   // driver -> game
+inline constexpr MethodId kEndGame = 2;     // driver -> game
+
+struct HaloWorkloadConfig {
+  int target_players = 10000;   // paper: 100K (scaled default: 10K)
+  int players_per_game = 8;
+  // Paper durations are 20-30 min games; time_scale compresses them (0.04 ->
+  // 48-72 s) while preserving the ratio of graph churn to the partitioner's
+  // scaled exchange period (paper: ~25 exchange periods per game).
+  double time_scale = 0.04;
+  SimDuration game_duration_min = Minutes(20);  // multiplied by time_scale
+  SimDuration game_duration_max = Minutes(30);
+  int min_games_per_player = 3;
+  int max_games_per_player = 5;
+  // Idle pool target (paper: 1000 of 100K = 1%).
+  int idle_pool_target = 100;
+
+  double request_rate = 3000.0;  // client status requests per second
+  uint32_t request_bytes = 256;
+  uint32_t status_bytes = 400;   // game status payloads
+  uint32_t update_bytes = 300;   // broadcast payloads
+
+  SimDuration player_compute = Micros(30);
+  SimDuration game_compute = Micros(40);
+  uint64_t seed = 31;
+};
+
+// Shared state between the driver and the actors (matchmaking table).
+struct HaloState {
+  // Roster per game id (set by the driver before StartGame).
+  std::unordered_map<uint64_t, std::vector<ActorId>> rosters;
+  uint64_t broadcasts = 0;   // completed game broadcasts (test oracle)
+  uint64_t updates = 0;      // player Update turns executed
+};
+
+class HaloWorkload {
+ public:
+  HaloWorkload(Cluster* cluster, HaloWorkloadConfig config);
+  ~HaloWorkload();
+
+  // Populates the initial player base and begins matchmaking + client load.
+  void Start();
+  void Stop();
+
+  ClientPool& clients() { return clients_; }
+  const HaloState& state() const { return *state_; }
+
+  int64_t concurrent_players() const { return static_cast<int64_t>(player_game_.size()); }
+  int64_t active_games() const { return active_games_; }
+  uint64_t games_started() const { return games_started_; }
+  uint64_t players_departed() const { return players_departed_; }
+
+ private:
+  struct PlayerInfo {
+    int games_left = 0;
+    bool in_game = false;
+  };
+
+  void AddNewPlayer();
+  void TryFormGames();
+  void StartGame(std::vector<ActorId> members);
+  void FinishGame(uint64_t game_key, std::vector<ActorId> members);
+  SimDuration ScaledUniform(SimDuration lo, SimDuration hi);
+  bool PickTarget(Rng& rng, ActorId* target, MethodId* method);
+
+  Cluster* cluster_;
+  HaloWorkloadConfig config_;
+  Rng rng_;
+  std::shared_ptr<HaloState> state_;
+  ClientPool clients_;
+  DirectClient driver_;
+
+  std::unordered_map<ActorId, PlayerInfo> player_game_;  // all live players
+  std::vector<ActorId> idle_pool_;
+  std::vector<ActorId> in_game_players_;  // sampled by the client target fn
+  std::unordered_map<ActorId, size_t> in_game_index_;  // player -> slot above
+  bool started_clients_ = false;
+  bool first_generation_ = true;
+  uint64_t next_player_key_ = 1;
+  uint64_t next_game_key_ = 1;
+  int64_t active_games_ = 0;
+  uint64_t games_started_ = 0;
+  uint64_t players_departed_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace actop
+
+#endif  // SRC_WORKLOAD_HALO_PRESENCE_H_

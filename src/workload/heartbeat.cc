@@ -1,0 +1,53 @@
+#include "src/workload/heartbeat.h"
+
+#include <memory>
+
+#include "src/actor/actor.h"
+#include "src/common/check.h"
+
+namespace actop {
+
+namespace {
+
+class MonitorActor : public Actor {
+ public:
+  void OnCall(CallContext& ctx) override {
+    last_update_ = ctx.now();
+    updates_++;
+    ctx.Reply(64);
+  }
+
+ private:
+  SimTime last_update_ = 0;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace
+
+HeartbeatWorkload::HeartbeatWorkload(Cluster* cluster, HeartbeatWorkloadConfig config)
+    : cluster_(cluster),
+      config_(config),
+      clients_(
+          &cluster->sim(), cluster,
+          ClientConfig{.request_rate = config.request_rate,
+                       .request_bytes = config.request_bytes,
+                       .seed = config.seed},
+          [num = config.num_monitors](Rng& rng, ActorId* target, MethodId* method) {
+            *target =
+                MakeActorId(kMonitorActorType, rng.NextBounded(static_cast<uint64_t>(num)) + 1);
+            *method = 0;
+            return true;
+          }) {
+  ACTOP_CHECK(cluster != nullptr);
+  CostModel costs;
+  costs.handler_compute = config_.handler_compute;
+  costs.handler_blocking = config_.handler_blocking;
+  cluster_->RegisterActorType(
+      kMonitorActorType, [](ActorId) { return std::make_unique<MonitorActor>(); }, costs);
+}
+
+void HeartbeatWorkload::Start() { clients_.Start(); }
+
+void HeartbeatWorkload::Stop() { clients_.Stop(); }
+
+}  // namespace actop

@@ -1,0 +1,124 @@
+#include "src/actor/location_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/actor/directory.h"
+
+namespace actop {
+namespace {
+
+TEST(LocationCacheTest, PutAndGet) {
+  LocationCache cache(4);
+  cache.Put(1, 2);
+  EXPECT_EQ(cache.Get(1), 2);
+  EXPECT_EQ(cache.Get(99), kNoServer);
+}
+
+TEST(LocationCacheTest, PutOverwrites) {
+  LocationCache cache(4);
+  cache.Put(1, 2);
+  cache.Put(1, 3);
+  EXPECT_EQ(cache.Get(1), 3);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LocationCacheTest, EvictsLeastRecentlyUsed) {
+  LocationCache cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.Get(1), 10);  // refresh 1; 2 becomes LRU
+  cache.Put(3, 30);             // evicts 2
+  EXPECT_EQ(cache.Get(2), kNoServer);
+  EXPECT_EQ(cache.Get(1), 10);
+  EXPECT_EQ(cache.Get(3), 30);
+}
+
+TEST(LocationCacheTest, PeekDoesNotRefresh) {
+  LocationCache cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(cache.Peek(1), 10);  // no recency update: 1 stays LRU
+  cache.Put(3, 30);              // evicts 1
+  EXPECT_EQ(cache.Peek(1), kNoServer);
+}
+
+TEST(LocationCacheTest, Invalidate) {
+  LocationCache cache(4);
+  cache.Put(1, 2);
+  cache.Invalidate(1);
+  EXPECT_EQ(cache.Get(1), kNoServer);
+  cache.Invalidate(1);  // idempotent
+}
+
+TEST(LocationCacheTest, InvalidateServerDropsMatching) {
+  LocationCache cache(8);
+  cache.Put(1, 5);
+  cache.Put(2, 5);
+  cache.Put(3, 6);
+  cache.InvalidateServer(5);
+  EXPECT_EQ(cache.Peek(1), kNoServer);
+  EXPECT_EQ(cache.Peek(2), kNoServer);
+  EXPECT_EQ(cache.Peek(3), 6);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LocationCacheTest, HitMissCounters) {
+  LocationCache cache(4);
+  cache.Put(1, 2);
+  cache.Get(1);
+  cache.Get(9);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LocationCacheTest, ClearEmptiesAll) {
+  LocationCache cache(4);
+  cache.Put(1, 2);
+  cache.Put(3, 4);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Peek(1), kNoServer);
+}
+
+TEST(DirectoryShardTest, FirstWriterWins) {
+  DirectoryShard shard;
+  EXPECT_EQ(shard.LookupOrRegister(1, 3), 3);
+  EXPECT_EQ(shard.LookupOrRegister(1, 7), 3);  // already registered
+  EXPECT_EQ(shard.Lookup(1), 3);
+}
+
+TEST(DirectoryShardTest, LookupMissingReturnsNoServer) {
+  DirectoryShard shard;
+  EXPECT_EQ(shard.Lookup(42), kNoServer);
+}
+
+TEST(DirectoryShardTest, UnregisterOnlyMatchingOwner) {
+  DirectoryShard shard;
+  shard.LookupOrRegister(1, 3);
+  shard.Unregister(1, 5);  // stale unregister: ignored
+  EXPECT_EQ(shard.Lookup(1), 3);
+  shard.Unregister(1, 3);
+  EXPECT_EQ(shard.Lookup(1), kNoServer);
+}
+
+TEST(DirectoryShardTest, EvictServerRemovesAllItsEntries) {
+  DirectoryShard shard;
+  shard.LookupOrRegister(1, 3);
+  shard.LookupOrRegister(2, 3);
+  shard.LookupOrRegister(3, 4);
+  EXPECT_EQ(shard.EvictServer(3), 2);
+  EXPECT_EQ(shard.Lookup(1), kNoServer);
+  EXPECT_EQ(shard.Lookup(3), 4);
+}
+
+TEST(DirectoryHomeTest, DeterministicAndInRange) {
+  for (ActorId a = 1; a < 1000; a++) {
+    const ServerId home = DirectoryHomeOf(a, 7);
+    EXPECT_GE(home, 0);
+    EXPECT_LT(home, 7);
+    EXPECT_EQ(home, DirectoryHomeOf(a, 7));
+  }
+}
+
+}  // namespace
+}  // namespace actop

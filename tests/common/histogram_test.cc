@@ -1,0 +1,154 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace actop {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.p99(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(123);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 123);
+  EXPECT_EQ(h.max(), 123);
+  EXPECT_EQ(h.p50(), 123);
+  EXPECT_EQ(h.p99(), 123);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 1000; i++) {
+    h.Record(i);
+  }
+  // Linear region stores small values exactly. The 0.5 quantile of 0..999 is
+  // the 500th sample (1-indexed), i.e. value 499.
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 499);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 999);
+}
+
+TEST(HistogramTest, LargeValuesWithinRelativeError) {
+  Histogram h;
+  const int64_t value = 1'000'000'000;  // 1 second in ns
+  h.Record(value);
+  const int64_t p50 = h.p50();
+  EXPECT_NEAR(static_cast<double>(p50), static_cast<double>(value), 0.04 * value);
+}
+
+TEST(HistogramTest, QuantilesAreMonotone) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 100000; i++) {
+    h.Record(static_cast<int64_t>(rng.NextExp(1e6)));
+  }
+  int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const int64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev) << "quantile " << q;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, ExponentialQuantilesMatchTheory) {
+  Histogram h;
+  Rng rng(6);
+  const double mean = 2e6;
+  for (int i = 0; i < 500000; i++) {
+    h.Record(static_cast<int64_t>(rng.NextExp(mean)));
+  }
+  // Exp quantile: -mean * ln(1-q).
+  EXPECT_NEAR(static_cast<double>(h.p50()), mean * 0.6931, mean * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.p99()), mean * 4.6052, mean * 0.10);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; i++) {
+    a.Record(10);
+    b.Record(1000000);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_GT(a.max(), 900000);
+  EXPECT_EQ(a.ValueAtQuantile(0.25), 10);
+  EXPECT_GT(a.ValueAtQuantile(0.75), 900000);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.Record(42);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42);
+  EXPECT_EQ(a.max(), 42);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(100);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p99(), 0);
+}
+
+TEST(HistogramTest, CdfAtBasics) {
+  Histogram h;
+  for (int i = 0; i < 100; i++) {
+    h.Record(i < 90 ? 10 : 500);
+  }
+  EXPECT_NEAR(h.CdfAt(10), 0.9, 0.01);
+  EXPECT_NEAR(h.CdfAt(499), 0.9, 0.01);
+  EXPECT_NEAR(h.CdfAt(501), 1.0, 0.01);
+  EXPECT_NEAR(h.CdfAt(0), 0.0, 0.01);
+}
+
+// Property sweep: for many magnitudes, the reported p50 of a constant stream
+// stays within the bucket relative error.
+class HistogramMagnitudeTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(HistogramMagnitudeTest, ConstantStreamP50WithinError) {
+  const int64_t value = GetParam();
+  Histogram h;
+  for (int i = 0; i < 100; i++) {
+    h.Record(value);
+  }
+  EXPECT_NEAR(static_cast<double>(h.p50()), static_cast<double>(value),
+              std::max<double>(1.0, 0.04 * static_cast<double>(value)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HistogramMagnitudeTest,
+                         ::testing::Values(0, 1, 17, 1023, 1024, 1025, 4096, 65537, 1'000'000,
+                                           123'456'789, 10'000'000'000LL, 9'999'999'999'999LL));
+
+}  // namespace
+}  // namespace actop

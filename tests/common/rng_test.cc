@@ -1,0 +1,139 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace actop {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    if (a.NextU64() == b.NextU64()) {
+      same++;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(7);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; i++) {
+    seen[rng.NextBounded(10)]++;
+  }
+  for (int count : seen) {
+    // Each bucket expects ~1000; a bucket at 0 would indicate a bias bug.
+    EXPECT_GT(count, 800);
+    EXPECT_LT(count, 1200);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; i++) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; i++) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  const double mean = 250.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) {
+    const double v = rng.NextExp(mean);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(RngTest, ExponentialVarianceMatchesTheory) {
+  Rng rng(17);
+  const double mean = 100.0;
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; i++) {
+    const double v = rng.NextExp(mean);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double m = sum / n;
+  const double var = sum_sq / n - m * m;
+  // Var of Exp(mean) is mean^2.
+  EXPECT_NEAR(var, mean * mean, mean * mean * 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // Child and parent must not emit the same sequence.
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    if (parent.NextU64() == child.NextU64()) {
+      same++;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBoolProbability) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    if (rng.NextBool(0.3)) {
+      hits++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 specification (seed 0 sequence).
+  EXPECT_EQ(SplitMix64(0), 0xe220a8397b1dcdafULL);
+}
+
+}  // namespace
+}  // namespace actop

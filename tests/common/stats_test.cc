@@ -1,0 +1,60 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace actop {
+namespace {
+
+TEST(OnlineStatsTest, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428, 1e-5);  // sample variance (n-1)
+}
+
+TEST(OnlineStatsTest, SingleSampleHasZeroVariance) {
+  OnlineStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(OnlineStatsTest, ResetClears) {
+  OnlineStats s;
+  s.Add(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma e(0.3);
+  EXPECT_FALSE(e.initialized());
+  e.Add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, Smooths) {
+  Ewma e(0.5);
+  e.Add(0.0);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  Ewma e(0.4);
+  e.Add(100.0);
+  for (int i = 0; i < 50; i++) {
+    e.Add(42.0);
+  }
+  EXPECT_NEAR(e.value(), 42.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace actop

@@ -1,0 +1,44 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace actop {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "23"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  // Header line and rule line plus two rows.
+  int lines = 0;
+  for (char c : s) {
+    if (c == '\n') {
+      lines++;
+    }
+  }
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(FormatTest, FormatMillis) { EXPECT_EQ(FormatMillis(12'345'678), "12.35"); }
+
+TEST(FormatTest, FormatPercent) {
+  EXPECT_EQ(FormatPercent(0.123), "12.3%");
+  EXPECT_EQ(FormatPercent(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace actop

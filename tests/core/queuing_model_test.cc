@@ -1,0 +1,99 @@
+#include "src/core/queuing_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace actop {
+namespace {
+
+AllocationProblem TwoStageProblem() {
+  AllocationProblem p;
+  p.processors = 8;
+  p.eta = 1e-4;
+  p.stages = {
+      {.lambda = 1000.0, .s = 2000.0, .beta = 1.0},
+      {.lambda = 1000.0, .s = 500.0, .beta = 1.0},
+  };
+  return p;
+}
+
+TEST(QueuingModelTest, TotalArrivalRate) {
+  EXPECT_DOUBLE_EQ(TotalArrivalRate(TwoStageProblem()), 2000.0);
+}
+
+TEST(QueuingModelTest, FeasibilityCheck) {
+  AllocationProblem p = TwoStageProblem();
+  // Demand = 1000/2000 + 1000/500 = 2.5 < 8.
+  EXPECT_TRUE(IsFeasible(p));
+  p.processors = 2;
+  EXPECT_FALSE(IsFeasible(p));
+}
+
+TEST(QueuingModelTest, ProxyLatencyMatchesMM1) {
+  AllocationProblem p;
+  p.processors = 4;
+  p.eta = 0.0;
+  p.stages = {{.lambda = 100.0, .s = 200.0, .beta = 1.0}};
+  // One thread: M/M/1 with µ=200, λ=100 -> mean delay 1/(µ−λ) = 10 ms.
+  EXPECT_NEAR(ProxyLatency(p, {1.0}), 0.01, 1e-12);
+}
+
+TEST(QueuingModelTest, UnstableAllocationIsInfinite) {
+  AllocationProblem p = TwoStageProblem();
+  // Stage 1 needs > 2 threads (λ=1000, s=500).
+  EXPECT_TRUE(std::isinf(ProxyLatency(p, {1.0, 2.0})));
+  EXPECT_FALSE(std::isinf(ProxyLatency(p, {1.0, 2.5})));
+}
+
+TEST(QueuingModelTest, EtaPenaltyAddsLinearly) {
+  AllocationProblem p = TwoStageProblem();
+  const double base = ProxyLatency(p, {2.0, 4.0});
+  p.eta *= 2.0;
+  const double doubled = ProxyLatency(p, {2.0, 4.0});
+  EXPECT_NEAR(doubled - base, 1e-4 * 6.0, 1e-12);
+}
+
+TEST(QueuingModelTest, ZeroTrafficStageContributesOnlyPenalty) {
+  AllocationProblem p;
+  p.processors = 4;
+  p.eta = 1e-3;
+  p.stages = {
+      {.lambda = 0.0, .s = 100.0, .beta = 1.0},
+      {.lambda = 100.0, .s = 200.0, .beta = 1.0},
+  };
+  EXPECT_NEAR(ProxyLatency(p, {1.0, 1.0}), 0.01 + 2e-3, 1e-12);
+}
+
+TEST(QueuingModelTest, ZetaFormula) {
+  AllocationProblem p;
+  p.processors = 4;
+  p.stages = {{.lambda = 100.0, .s = 100.0, .beta = 1.0}};
+  // numerator = 1*sqrt(1) = 1; demand = 1; slack = 3; ζ = (1/3)²/100.
+  EXPECT_NEAR(Zeta(p), (1.0 / 3.0) * (1.0 / 3.0) / 100.0, 1e-12);
+}
+
+TEST(QueuingModelTest, ZetaInfiniteAtZeroSlack) {
+  AllocationProblem p;
+  p.processors = 1;
+  p.stages = {{.lambda = 100.0, .s = 100.0, .beta = 1.0}};
+  EXPECT_TRUE(std::isinf(Zeta(p)));
+}
+
+TEST(QueuingModelTest, CpuUsageWeightsBeta) {
+  AllocationProblem p = TwoStageProblem();
+  p.stages[0].beta = 0.5;
+  EXPECT_DOUBLE_EQ(CpuUsage(p, {4.0, 2.0}), 4.0 * 0.5 + 2.0);
+}
+
+TEST(QueuingModelTest, ModelLatencyExcludesPenalty) {
+  AllocationProblem p = TwoStageProblem();
+  const std::vector<double> t = {2.0, 4.0};
+  EXPECT_NEAR(ModelLatencySeconds(p, t) +
+                  p.eta * 6.0,
+              ProxyLatency(p, t), 1e-12);
+}
+
+}  // namespace
+}  // namespace actop

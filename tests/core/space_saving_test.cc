@@ -1,0 +1,171 @@
+#include "src/core/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace actop {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSaving<int> ss(10);
+  for (int i = 0; i < 5; i++) {
+    for (int rep = 0; rep <= i; rep++) {
+      ss.Observe(i);
+    }
+  }
+  EXPECT_EQ(ss.size(), 5u);
+  for (int i = 0; i < 5; i++) {
+    EXPECT_EQ(ss.EstimateCount(i), static_cast<uint64_t>(i + 1));
+  }
+  for (const auto& e : ss.Entries()) {
+    EXPECT_EQ(e.error, 0u);
+  }
+}
+
+TEST(SpaceSavingTest, CapacityNeverExceeded) {
+  SpaceSaving<int> ss(4);
+  for (int i = 0; i < 100; i++) {
+    ss.Observe(i);
+  }
+  EXPECT_EQ(ss.size(), 4u);
+}
+
+TEST(SpaceSavingTest, HeavyHitterAlwaysTracked) {
+  // Classic guarantee: any key with count > N/m is in the summary.
+  SpaceSaving<int> ss(10);
+  Rng rng(1);
+  int heavy_count = 0;
+  for (int i = 0; i < 10000; i++) {
+    if (rng.NextBool(0.3)) {
+      ss.Observe(999);
+      heavy_count++;
+    } else {
+      ss.Observe(static_cast<int>(rng.NextBounded(500)));
+    }
+  }
+  ASSERT_TRUE(ss.Contains(999));
+  // Estimated count over-estimates but never under-estimates.
+  EXPECT_GE(ss.EstimateCount(999), static_cast<uint64_t>(heavy_count));
+}
+
+TEST(SpaceSavingTest, OverestimationBoundedByError) {
+  SpaceSaving<int> ss(8);
+  std::map<int, uint64_t> truth;
+  Rng rng(2);
+  for (int i = 0; i < 5000; i++) {
+    const int key = static_cast<int>(rng.NextBounded(64));
+    truth[key]++;
+    ss.Observe(key);
+  }
+  for (const auto& e : ss.Entries()) {
+    const uint64_t true_count = truth[e.key];
+    EXPECT_GE(e.count, true_count);
+    EXPECT_LE(e.count - true_count, e.error);
+    EXPECT_LE(e.error, ss.total_observed() / ss.capacity());
+  }
+}
+
+TEST(SpaceSavingTest, WeightedIncrements) {
+  SpaceSaving<int> ss(4);
+  ss.Observe(1, 100);
+  ss.Observe(2, 5);
+  EXPECT_EQ(ss.EstimateCount(1), 100u);
+  EXPECT_EQ(ss.EstimateCount(2), 5u);
+  EXPECT_EQ(ss.total_observed(), 105u);
+}
+
+TEST(SpaceSavingTest, EvictionReplacesMinimum) {
+  SpaceSaving<int> ss(2);
+  ss.Observe(1, 10);
+  ss.Observe(2, 1);
+  ss.Observe(3, 1);  // evicts key 2 (count 1); key 3 gets count 2, error 1
+  EXPECT_TRUE(ss.Contains(1));
+  EXPECT_FALSE(ss.Contains(2));
+  EXPECT_TRUE(ss.Contains(3));
+  EXPECT_EQ(ss.EstimateCount(3), 2u);
+}
+
+TEST(SpaceSavingTest, DecayHalvesCounts) {
+  SpaceSaving<int> ss(4);
+  ss.Observe(1, 10);
+  ss.Observe(2, 1);
+  ss.Decay();
+  EXPECT_EQ(ss.EstimateCount(1), 5u);
+  // Count 1 halves to 0 and the key is dropped.
+  EXPECT_FALSE(ss.Contains(2));
+  EXPECT_EQ(ss.total_observed(), 5u);
+}
+
+TEST(SpaceSavingTest, DecayAllowsGraphChurn) {
+  // After decay, previously heavy but now-cold edges lose to new traffic.
+  SpaceSaving<int> ss(4);
+  for (int i = 0; i < 100; i++) {
+    ss.Observe(1);
+    ss.Observe(2);
+    ss.Observe(3);
+    ss.Observe(4);
+  }
+  for (int round = 0; round < 12; round++) {
+    ss.Decay();
+    for (int i = 0; i < 50; i++) {
+      ss.Observe(10);
+      ss.Observe(11);
+    }
+  }
+  EXPECT_TRUE(ss.Contains(10));
+  EXPECT_TRUE(ss.Contains(11));
+  EXPECT_GT(ss.EstimateCount(10), ss.EstimateCount(1));
+}
+
+TEST(SpaceSavingTest, ClearEmptiesSummary) {
+  SpaceSaving<int> ss(4);
+  ss.Observe(1);
+  ss.Clear();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.total_observed(), 0u);
+}
+
+TEST(SpaceSavingTest, PairKeyUsage) {
+  // The edge monitor uses (vertex, vertex) keys; validate with a custom hash.
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+      return SplitMix64(p.first ^ SplitMix64(p.second));
+    }
+  };
+  SpaceSaving<std::pair<uint64_t, uint64_t>, PairHash> ss(8);
+  ss.Observe({1, 2}, 3);
+  ss.Observe({2, 1}, 4);
+  EXPECT_EQ(ss.EstimateCount({1, 2}), 3u);
+  EXPECT_EQ(ss.EstimateCount({2, 1}), 4u);
+}
+
+// Property: top-1 identification under skewed (Zipf-like) streams.
+class SpaceSavingSkewTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SpaceSavingSkewTest, FindsDominantKey) {
+  SpaceSaving<int> ss(GetParam());
+  Rng rng(7);
+  for (int i = 0; i < 20000; i++) {
+    // Key k occurs with probability ~ 1/2^k (geometric): key 0 dominates.
+    int key = 0;
+    while (key < 12 && rng.NextBool(0.5)) {
+      key++;
+    }
+    ss.Observe(key);
+  }
+  auto entries = ss.Entries();
+  auto best = std::max_element(entries.begin(), entries.end(),
+                               [](const auto& a, const auto& b) { return a.count < b.count; });
+  ASSERT_NE(best, entries.end());
+  EXPECT_EQ(best->key, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SpaceSavingSkewTest, ::testing::Values(2, 4, 16, 64));
+
+}  // namespace
+}  // namespace actop

@@ -1,0 +1,129 @@
+#include "src/core/streaming_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/partition_testbed.h"
+
+namespace actop {
+namespace {
+
+// Streams a graph's vertices (in id order) through a partitioner and
+// returns the resulting cut cost.
+double StreamAndCut(const WeightedGraph& g, StreamingPartitioner* partitioner) {
+  for (VertexId v : g.Vertices()) {
+    partitioner->Place(v, g.NeighborsOf(v));
+  }
+  return CutCost(g.adjacency(), partitioner->assignment());
+}
+
+TEST(StreamingPartitionerTest, EveryVertexPlacedExactlyOnce) {
+  Rng rng(1);
+  WeightedGraph g = MakeRandomGraph(200, 600, 1.0, &rng);
+  StreamingPartitioner sp(4, 200, 600, StreamingPartitionerConfig{});
+  for (VertexId v : g.Vertices()) {
+    const ServerId first = sp.Place(v, g.NeighborsOf(v));
+    EXPECT_EQ(sp.Place(v, g.NeighborsOf(v)), first);  // idempotent
+  }
+  EXPECT_EQ(sp.assignment().size(), g.num_vertices());
+  int64_t total = 0;
+  for (ServerId s = 0; s < 4; s++) {
+    total += sp.PartSize(s);
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(g.num_vertices()));
+}
+
+TEST(StreamingPartitionerTest, CapacityBoundRespected) {
+  Rng rng(2);
+  WeightedGraph g = MakeClusteredGraph(40, 5, 1.0, 0, 1.0, &rng);  // 200 vertices
+  StreamingPartitionerConfig cfg;
+  cfg.capacity_slack = 1.1;
+  StreamingPartitioner sp(4, 200, 400, cfg);
+  StreamAndCut(g, &sp);
+  for (ServerId s = 0; s < 4; s++) {
+    EXPECT_LE(sp.PartSize(s), static_cast<int64_t>(1.1 * 200 / 4) + 1);
+  }
+}
+
+TEST(StreamingPartitionerTest, LdgBeatsHashingOnClusteredGraphs) {
+  Rng rng(3);
+  WeightedGraph g = MakeClusteredGraph(60, 8, 1.0, 100, 0.2, &rng);
+
+  StreamingPartitionerConfig hash_cfg;
+  hash_cfg.heuristic = StreamingHeuristic::kHashing;
+  StreamingPartitioner hashing(6, 480, 2000, hash_cfg);
+  const double hash_cut = StreamAndCut(g, &hashing);
+
+  StreamingPartitionerConfig ldg_cfg;
+  ldg_cfg.heuristic = StreamingHeuristic::kLinearDeterministicGreedy;
+  StreamingPartitioner ldg(6, 480, 2000, ldg_cfg);
+  const double ldg_cut = StreamAndCut(g, &ldg);
+
+  // Stanton & Kliot's headline: LDG cuts far fewer edges than hashing.
+  EXPECT_LT(ldg_cut, hash_cut * 0.6);
+}
+
+TEST(StreamingPartitionerTest, FennelAlsoBeatsHashing) {
+  Rng rng(4);
+  WeightedGraph g = MakeClusteredGraph(60, 8, 1.0, 100, 0.2, &rng);
+
+  StreamingPartitionerConfig hash_cfg;
+  hash_cfg.heuristic = StreamingHeuristic::kHashing;
+  StreamingPartitioner hashing(6, 480, 2000, hash_cfg);
+  const double hash_cut = StreamAndCut(g, &hashing);
+
+  StreamingPartitionerConfig fennel_cfg;
+  fennel_cfg.heuristic = StreamingHeuristic::kFennel;
+  StreamingPartitioner fennel(6, 480, 2000, fennel_cfg);
+  const double fennel_cut = StreamAndCut(g, &fennel);
+
+  EXPECT_LT(fennel_cut, hash_cut * 0.7);
+  EXPECT_LE(fennel.MaxImbalance(), static_cast<int64_t>(0.2 * 480 / 6) + 80);
+}
+
+TEST(StreamingPartitionerTest, DynamicGraphIsWhereStreamingLoses) {
+  // The paper's argument for continuous re-partitioning (§4.1/§7): a
+  // streaming placement is fixed at arrival time, so when the communication
+  // graph changes the one-shot placement decays toward random, while the
+  // pairwise algorithm re-converges. Model one "re-matching" of a clustered
+  // graph: same vertices, new cluster membership.
+  Rng rng(5);
+  const int clusters = 50;
+  const int size = 8;
+  WeightedGraph before = MakeClusteredGraph(clusters, size, 1.0, 0, 1.0, &rng);
+  // After re-matching: vertex v joins cluster hash(v) — a permutation of
+  // memberships with the same shape.
+  WeightedGraph after;
+  std::vector<std::vector<VertexId>> groups(clusters);
+  for (VertexId v : before.Vertices()) {
+    groups[SplitMix64(v * 7919) % clusters].push_back(v);
+  }
+  for (const auto& group : groups) {
+    for (size_t i = 0; i < group.size(); i++) {
+      for (size_t j = i + 1; j < group.size(); j++) {
+        after.AddEdge(group[i], group[j], 1.0);
+      }
+    }
+  }
+
+  // Stream placement against the OLD graph.
+  StreamingPartitioner ldg(5, clusters * size, 3000, StreamingPartitionerConfig{});
+  StreamAndCut(before, &ldg);
+  const double cut_after_change = CutCost(after.adjacency(), ldg.assignment());
+  const double cut_before_change = CutCost(before.adjacency(), ldg.assignment());
+
+  // The placement was good for the old graph and is poor for the new one.
+  EXPECT_LT(cut_before_change, cut_after_change * 0.6);
+
+  // The pairwise algorithm, started from the stale assignment, re-converges
+  // on the new graph. (Emulates what the runtime's agents do continuously.)
+  PairwiseConfig config;
+  config.candidate_set_size = 32;
+  config.balance_delta = 2 * size;
+  PartitionTestbed bed(&after, 5, config, 6);
+  bed.RunToConvergence(200);
+  EXPECT_LT(bed.Cost(), cut_after_change * 0.5);
+}
+
+}  // namespace
+}  // namespace actop

@@ -1,0 +1,182 @@
+#include "src/core/thread_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/core/queuing_model.h"
+
+namespace actop {
+namespace {
+
+AllocationProblem SampleProblem() {
+  AllocationProblem p;
+  p.processors = 8;
+  p.eta = 100e-6;  // the paper's calibrated value
+  p.stages = {
+      {.lambda = 15000.0, .s = 10000.0, .beta = 1.0},  // receive
+      {.lambda = 15000.0, .s = 30000.0, .beta = 1.0},  // worker
+      {.lambda = 15000.0, .s = 11000.0, .beta = 1.0},  // sender
+  };
+  return p;
+}
+
+TEST(ClosedFormTest, MatchesTheorem2Formula) {
+  const AllocationProblem p = SampleProblem();
+  const double lambda_tot = TotalArrivalRate(p);
+  const auto t = ClosedFormAllocation(p);
+  ASSERT_EQ(t.size(), 3u);
+  for (size_t i = 0; i < 3; i++) {
+    const auto& st = p.stages[i];
+    const double expected = st.lambda / st.s + std::sqrt(st.lambda / (lambda_tot * p.eta * st.s));
+    EXPECT_NEAR(t[i], expected, 1e-9);
+  }
+}
+
+TEST(ClosedFormTest, AllStagesStable) {
+  const AllocationProblem p = SampleProblem();
+  const auto t = ClosedFormAllocation(p);
+  for (size_t i = 0; i < t.size(); i++) {
+    EXPECT_GT(p.stages[i].s * t[i], p.stages[i].lambda);
+  }
+}
+
+TEST(ClosedFormTest, RespectsCapacityWhenEtaAboveZeta) {
+  AllocationProblem p = SampleProblem();
+  const double zeta = Zeta(p);
+  p.eta = zeta * 1.5;
+  const auto t = ClosedFormAllocation(p);
+  EXPECT_LE(CpuUsage(p, t), static_cast<double>(p.processors) + 1e-9);
+}
+
+TEST(ClosedFormTest, StationaryPointOfUnconstrainedObjective) {
+  // At the optimum, dF/dti = 0: η = λi·si/(λtot·(si·ti−λi)²).
+  const AllocationProblem p = SampleProblem();
+  const double lambda_tot = TotalArrivalRate(p);
+  const auto t = ClosedFormAllocation(p);
+  for (size_t i = 0; i < t.size(); i++) {
+    const auto& st = p.stages[i];
+    const double surplus = st.s * t[i] - st.lambda;
+    const double grad = p.eta - st.lambda * st.s / (lambda_tot * surplus * surplus);
+    EXPECT_NEAR(grad, 0.0, 1e-9);
+  }
+}
+
+TEST(GradientTest, MatchesClosedFormWhenUnconstrained) {
+  const AllocationProblem p = SampleProblem();
+  ASSERT_GE(p.eta, Zeta(p));
+  const auto closed = ClosedFormAllocation(p);
+  const auto grad = GradientAllocation(p);
+  ASSERT_EQ(grad.size(), closed.size());
+  for (size_t i = 0; i < closed.size(); i++) {
+    EXPECT_NEAR(grad[i], closed[i], closed[i] * 0.02);
+  }
+}
+
+TEST(GradientTest, HandlesActiveCapacityConstraint) {
+  AllocationProblem p = SampleProblem();
+  p.eta = Zeta(p) * 0.01;  // closed form would exceed capacity
+  const auto t = GradientAllocation(p);
+  EXPECT_LE(CpuUsage(p, t), static_cast<double>(p.processors) + 1e-6);
+  for (size_t i = 0; i < t.size(); i++) {
+    EXPECT_GT(p.stages[i].s * t[i], p.stages[i].lambda);
+  }
+  // Objective must beat the naive stable point (equal slack distribution).
+  std::vector<double> naive(t.size());
+  for (size_t i = 0; i < t.size(); i++) {
+    naive[i] = p.stages[i].lambda / p.stages[i].s + 0.5;
+  }
+  EXPECT_LE(ProxyLatency(p, t), ProxyLatency(p, naive));
+}
+
+TEST(IntegerTest, ProducesStableIntegerAllocation) {
+  const AllocationProblem p = SampleProblem();
+  const auto alloc = IntegerAllocation(p);
+  ASSERT_EQ(alloc.size(), 3u);
+  for (size_t i = 0; i < alloc.size(); i++) {
+    EXPECT_GE(alloc[i], 1);
+    EXPECT_GT(p.stages[i].s * alloc[i], p.stages[i].lambda);
+  }
+}
+
+TEST(IntegerTest, BeatsOrMatchesNeighboringAllocations) {
+  const AllocationProblem p = SampleProblem();
+  const auto alloc = IntegerAllocation(p);
+  std::vector<double> base(alloc.begin(), alloc.end());
+  const double best = ProxyLatency(p, base);
+  for (size_t i = 0; i < alloc.size(); i++) {
+    for (int d : {-1, +1}) {
+      std::vector<double> neighbor = base;
+      neighbor[i] += d;
+      if (neighbor[i] < 1.0) {
+        continue;
+      }
+      if (CpuUsage(p, neighbor) > p.processors) {
+        continue;
+      }
+      EXPECT_GE(ProxyLatency(p, neighbor) + 1e-12, best);
+    }
+  }
+}
+
+TEST(IntegerTest, MoreBlockingMeansMoreThreads) {
+  // Two stages identical except stage 1 blocks: s smaller, beta < 1. The
+  // optimizer must give the blocking stage more threads (§5.2's example).
+  AllocationProblem p;
+  p.processors = 8;
+  p.eta = 100e-6;
+  const double x = 100e-6;  // 100 µs CPU
+  const double w = 400e-6;  // 400 µs blocking
+  p.stages = {
+      {.lambda = 5000.0, .s = 1.0 / x, .beta = 1.0},
+      {.lambda = 5000.0, .s = 1.0 / (x + w), .beta = x / (x + w)},
+  };
+  const auto alloc = IntegerAllocation(p);
+  EXPECT_GT(alloc[1], alloc[0]);
+}
+
+TEST(IntegerTest, RespectsMinMaxBounds) {
+  const AllocationProblem p = SampleProblem();
+  const auto alloc = IntegerAllocation(p, 2, 3);
+  for (int t : alloc) {
+    EXPECT_GE(t, 2);
+    EXPECT_LE(t, 3);
+  }
+}
+
+// Property: across random feasible problems with η ≥ ζ, the gradient solver
+// never finds a solution meaningfully better than the closed form (i.e. the
+// closed form is the global optimum Theorem 2 claims).
+class ClosedFormOptimalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosedFormOptimalityTest, GradientCannotBeatClosedForm) {
+  Rng rng(GetParam());
+  AllocationProblem p;
+  p.processors = static_cast<int>(rng.NextInt(4, 32));
+  const int stages = static_cast<int>(rng.NextInt(2, 6));
+  for (int i = 0; i < stages; i++) {
+    StageParams st;
+    st.lambda = rng.NextDouble(100.0, 20000.0);
+    st.s = rng.NextDouble(500.0, 40000.0);
+    st.beta = rng.NextDouble(0.2, 1.0);
+    p.stages.push_back(st);
+  }
+  if (!IsFeasible(p)) {
+    GTEST_SKIP() << "random instance infeasible";
+  }
+  const double zeta = Zeta(p);
+  p.eta = std::max(zeta * rng.NextDouble(1.0, 10.0), 1e-9);
+  const auto closed = ClosedFormAllocation(p);
+  const auto grad = GradientAllocation(p);
+  const double closed_obj = ProxyLatency(p, closed);
+  const double grad_obj = ProxyLatency(p, grad);
+  EXPECT_LE(closed_obj, grad_obj * 1.001 + 1e-12);
+  EXPECT_LE(CpuUsage(p, closed), p.processors + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, ClosedFormOptimalityTest,
+                         ::testing::Range<uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace actop

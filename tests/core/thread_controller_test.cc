@@ -1,0 +1,188 @@
+#include "src/core/thread_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/sim_time.h"
+#include "src/seda/emulator.h"
+#include "src/sim/simulation.h"
+
+namespace actop {
+namespace {
+
+EmulatorConfig SkewedConfig() {
+  // Receive-like stage is heavy, worker-like stage is light; the default
+  // equal allocation is wrong on purpose.
+  EmulatorConfig cfg;
+  cfg.cores = 8;
+  cfg.kappa = 0.05;
+  cfg.arrival_rate = 8000.0;
+  cfg.seed = 99;
+  cfg.stages = {
+      {.name = "recv", .mean_compute = Micros(300), .mean_blocking = 0, .initial_threads = 8},
+      {.name = "work", .mean_compute = Micros(30), .mean_blocking = 0, .initial_threads = 8},
+      {.name = "send", .mean_compute = Micros(250), .mean_blocking = 0, .initial_threads = 8},
+  };
+  return cfg;
+}
+
+TEST(ModelThreadControllerTest, ConvergesToSkewedAllocation) {
+  Simulation sim;
+  Emulator emu(&sim, SkewedConfig());
+  ModelControllerConfig cc;
+  cc.period = Seconds(1);
+  cc.eta = 100e-6;
+  cc.no_blocking = {true, true, true};
+  ModelThreadController controller(&sim, &emu, cc);
+  emu.Start();
+  controller.Start();
+  sim.RunUntil(Seconds(10));
+  const auto threads = emu.CurrentThreads();
+  // Heavy stages get more threads than the light one.
+  EXPECT_GT(threads[0], threads[1]);
+  EXPECT_GT(threads[2], threads[1]);
+  // Stability: every stage's capacity must exceed its arrival rate.
+  EXPECT_GE(threads[0] * (1e6 / 300.0), 8000.0);
+}
+
+TEST(ModelThreadControllerTest, FixesMisallocatedStages) {
+  // Start from a bad static allocation (uniform 3/3/3: the heavy receive and
+  // send stages sit at ρ ≈ 0.8 and queue); the controller must reallocate
+  // and cut latency.
+  auto run = [](bool optimized) {
+    EmulatorConfig cfg = SkewedConfig();
+    for (auto& st : cfg.stages) {
+      st.initial_threads = 3;
+    }
+    Simulation sim;
+    Emulator emu(&sim, cfg);
+    ModelThreadController controller(
+        &sim, &emu,
+        ModelControllerConfig{.period = Seconds(1), .eta = 100e-6,
+                              .no_blocking = {true, true, true}});
+    emu.Start();
+    if (optimized) {
+      controller.Start();
+    }
+    sim.RunUntil(Seconds(8));
+    // Measure the steady tail only.
+    emu.mutable_latency()->Reset();
+    sim.RunUntil(Seconds(16));
+    return emu.latency().mean();
+  };
+  const double base = run(false);
+  const double opt = run(true);
+  EXPECT_LT(opt, base * 0.9);
+}
+
+TEST(ModelThreadControllerTest, DoesNothingWhileOverloaded) {
+  EmulatorConfig cfg = SkewedConfig();
+  cfg.arrival_rate = 100000.0;  // far beyond 8 cores of capacity
+  Simulation sim;
+  Emulator emu(&sim, cfg);
+  ModelThreadController controller(
+      &sim, &emu,
+      ModelControllerConfig{.period = Seconds(1), .eta = 100e-6,
+                            .no_blocking = {true, true, true}});
+  const auto before = emu.CurrentThreads();
+  emu.Start();
+  controller.Start();
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(emu.CurrentThreads(), before);
+}
+
+TEST(ModelThreadControllerTest, ObserverSeesAllocations) {
+  Simulation sim;
+  Emulator emu(&sim, SkewedConfig());
+  ModelThreadController controller(
+      &sim, &emu,
+      ModelControllerConfig{.period = Seconds(1), .eta = 100e-6,
+                            .no_blocking = {true, true, true}});
+  int calls = 0;
+  controller.set_observer([&](const std::vector<int>& alloc) {
+    calls++;
+    EXPECT_EQ(alloc.size(), 3u);
+  });
+  emu.Start();
+  controller.Start();
+  sim.RunUntil(Seconds(5));
+  EXPECT_GT(calls, 0);
+}
+
+TEST(QueueLengthControllerTest, GrowsBottleneckShrinksIdle) {
+  EmulatorConfig cfg = SkewedConfig();
+  cfg.stages[0].initial_threads = 2;  // recv is the bottleneck: 8000/s needs ~2.4+
+  cfg.stages[1].initial_threads = 8;  // idle-ish stage will shrink
+  Simulation sim;
+  Emulator emu(&sim, cfg);
+  QueueLengthThreadController controller(
+      &sim, &emu,
+      QueueLengthControllerConfig{.period = Seconds(1), .high_threshold = 100,
+                                  .low_threshold = 10});
+  int max_recv_threads = 0;
+  int min_work_threads = 8;
+  controller.set_observer([&](const std::vector<int>& alloc) {
+    max_recv_threads = std::max(max_recv_threads, alloc[0]);
+    min_work_threads = std::min(min_work_threads, alloc[1]);
+  });
+  emu.Start();
+  controller.Start();
+  sim.RunUntil(Seconds(20));
+  // The controller reacts in the right directions at some point — but (as
+  // the paper's Figure 7 shows) it does not converge, so we assert on the
+  // trajectory, not the final state.
+  EXPECT_GT(max_recv_threads, 2);
+  EXPECT_LT(min_work_threads, 8);
+}
+
+TEST(QueueLengthControllerTest, OscillatesUnderTightCapacity) {
+  // The paper's §5.1 observation: queue-length control keeps flipping thread
+  // counts because queue length responds non-linearly. Detect by counting
+  // direction changes of the bottleneck stage's allocation.
+  EmulatorConfig cfg;
+  cfg.cores = 4;
+  cfg.kappa = 0.05;
+  cfg.arrival_rate = 4000.0;
+  cfg.seed = 5;
+  cfg.stages = {
+      {.name = "s0", .mean_compute = Micros(400), .mean_blocking = 0, .initial_threads = 1},
+      {.name = "s1", .mean_compute = Micros(400), .mean_blocking = 0, .initial_threads = 1},
+  };
+  Simulation sim;
+  Emulator emu(&sim, cfg);
+  QueueLengthThreadController controller(
+      &sim, &emu,
+      QueueLengthControllerConfig{.period = Seconds(2), .high_threshold = 100,
+                                  .low_threshold = 10});
+  std::vector<int> history;
+  controller.set_observer([&](const std::vector<int>& alloc) { history.push_back(alloc[0]); });
+  emu.Start();
+  controller.Start();
+  sim.RunUntil(Seconds(120));
+  int direction_changes = 0;
+  for (size_t i = 2; i < history.size(); i++) {
+    const int d1 = history[i - 1] - history[i - 2];
+    const int d2 = history[i] - history[i - 1];
+    if (d1 != 0 && d2 != 0 && (d1 > 0) != (d2 > 0)) {
+      direction_changes++;
+    }
+  }
+  EXPECT_GT(direction_changes, 2);
+}
+
+TEST(QueueLengthControllerTest, RespectsMinimumOneThread) {
+  EmulatorConfig cfg = SkewedConfig();
+  cfg.arrival_rate = 1.0;  // nearly idle: controller wants to shrink everything
+  Simulation sim;
+  Emulator emu(&sim, cfg);
+  QueueLengthThreadController controller(
+      &sim, &emu, QueueLengthControllerConfig{.period = Seconds(1)});
+  emu.Start();
+  controller.Start();
+  sim.RunUntil(Seconds(30));
+  for (int t : emu.CurrentThreads()) {
+    EXPECT_GE(t, 1);
+  }
+}
+
+}  // namespace
+}  // namespace actop

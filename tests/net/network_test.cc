@@ -1,0 +1,80 @@
+#include "src/net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/sim_time.h"
+#include "src/sim/simulation.h"
+
+namespace actop {
+namespace {
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulation sim;
+  Network net(&sim, NetworkConfig{.one_way_latency = Micros(250), .ns_per_byte = 0.0});
+  SimTime delivered_at = -1;
+  NodeId got_from = kNoNode;
+  net.AddNode([&](NodeId from, uint32_t bytes, std::shared_ptr<void> msg) {
+    (void)bytes;
+    (void)msg;
+    got_from = from;
+    delivered_at = sim.now();
+  });
+  const NodeId sender = net.AddNode([](NodeId, uint32_t, std::shared_ptr<void>) {});
+  net.Send(sender, 0, 100, nullptr);
+  sim.Run();
+  EXPECT_EQ(delivered_at, Micros(250));
+  EXPECT_EQ(got_from, sender);
+}
+
+TEST(NetworkTest, BandwidthTermScalesWithBytes) {
+  Simulation sim;
+  Network net(&sim, NetworkConfig{.one_way_latency = 0, .ns_per_byte = 8.0});
+  SimTime delivered_at = -1;
+  net.AddNode([&](NodeId, uint32_t, std::shared_ptr<void>) { delivered_at = sim.now(); });
+  const NodeId sender = net.AddNode([](NodeId, uint32_t, std::shared_ptr<void>) {});
+  net.Send(sender, 0, 1000, nullptr);
+  sim.Run();
+  EXPECT_EQ(delivered_at, Nanos(8000));
+}
+
+TEST(NetworkTest, PayloadPassedThrough) {
+  Simulation sim;
+  Network net(&sim, NetworkConfig{});
+  auto payload = std::make_shared<int>(42);
+  int received = 0;
+  net.AddNode([&](NodeId, uint32_t, std::shared_ptr<void> msg) {
+    received = *std::static_pointer_cast<int>(msg);
+  });
+  net.Send(0, 0, 10, payload);
+  sim.Run();
+  EXPECT_EQ(received, 42);
+}
+
+TEST(NetworkTest, CountsMessagesAndBytes) {
+  Simulation sim;
+  Network net(&sim, NetworkConfig{});
+  net.AddNode([](NodeId, uint32_t, std::shared_ptr<void>) {});
+  net.Send(0, 0, 100, nullptr);
+  net.Send(0, 0, 200, nullptr);
+  EXPECT_EQ(net.total_messages(), 2u);
+  EXPECT_EQ(net.total_bytes(), 300u);
+}
+
+TEST(NetworkTest, InterleavedDeliveryOrder) {
+  Simulation sim;
+  Network net(&sim, NetworkConfig{.one_way_latency = Micros(100), .ns_per_byte = 8.0});
+  std::vector<int> order;
+  net.AddNode([&](NodeId, uint32_t bytes, std::shared_ptr<void>) {
+    order.push_back(static_cast<int>(bytes));
+  });
+  // A big message sent first arrives after a small one sent at the same time.
+  net.Send(0, 0, 100000, nullptr);  // +800 µs wire
+  net.Send(0, 0, 10, nullptr);
+  sim.Run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 10);
+  EXPECT_EQ(order[1], 100000);
+}
+
+}  // namespace
+}  // namespace actop

@@ -1,0 +1,155 @@
+// Routing edge cases: stale-cache forwarding with hop limits, bounded-queue
+// rejection, parked-call retry after lost directory answers, and the
+// one-way-call path.
+
+#include <gtest/gtest.h>
+
+#include "src/common/sim_time.h"
+#include "src/runtime/client.h"
+#include "src/runtime/cluster.h"
+#include "src/sim/simulation.h"
+#include "tests/runtime/test_actors.h"
+
+namespace actop {
+namespace {
+
+ServerId HostOf(Cluster& cluster, ActorId actor) {
+  for (int s = 0; s < cluster.num_servers(); s++) {
+    if (cluster.server(s).IsActive(actor)) {
+      return static_cast<ServerId>(s);
+    }
+  }
+  return kNoServer;
+}
+
+TEST(RoutingTest, StaleCacheChainStillDelivers) {
+  // Prime stale caches on several servers, then call: the message must reach
+  // the real host within the hop limit (falling back to the directory).
+  Simulation sim;
+  Cluster cluster(&sim, ClusterConfig{.num_servers = 4, .seed = 3});
+  RegisterTestActors(&cluster);
+  DirectClient client(&sim, &cluster, 5);
+
+  const ActorId echo = MakeActorId(kEchoType, 1);
+  client.Call(echo, 1, 0, 100, nullptr);
+  sim.RunUntil(Seconds(1));
+  const ServerId host = HostOf(cluster, echo);
+  ASSERT_NE(host, kNoServer);
+
+  // Poison every other server's cache with a wrong location that points at
+  // yet another wrong server (chain of staleness).
+  for (int s = 0; s < 4; s++) {
+    if (s != host) {
+      cluster.server(s).location_cache().Put(echo, static_cast<ServerId>((s + 1) % 4));
+    }
+  }
+  int responses = 0;
+  client.Call(echo, 1, 0, 100, [&](const Response& r) {
+    EXPECT_FALSE(r.failed);
+    responses++;
+  });
+  sim.RunUntil(sim.now() + Seconds(3));
+  EXPECT_EQ(responses, 1);
+  // Exactly one live activation remains.
+  int hosts = 0;
+  for (int s = 0; s < 4; s++) {
+    hosts += cluster.server(s).IsActive(echo) ? 1 : 0;
+  }
+  EXPECT_EQ(hosts, 1);
+}
+
+TEST(RoutingTest, OneWayCallsDeliverWithoutResponses) {
+  Simulation sim;
+  Cluster cluster(&sim, ClusterConfig{.num_servers = 2, .seed = 5});
+  RegisterTestActors(&cluster);
+  DirectClient client(&sim, &cluster, 5);
+
+  const ActorId echo = MakeActorId(kEchoType, 9);
+  for (int i = 0; i < 10; i++) {
+    client.Call(echo, 1, 0, 100, nullptr);  // null continuation: one-way
+  }
+  sim.RunUntil(Seconds(2));
+  auto* actor = static_cast<EchoActor*>(cluster.GetOrCreateActor(echo));
+  EXPECT_EQ(actor->calls(), 10);
+}
+
+TEST(RoutingTest, BoundedReceiveQueueShedsLoadButRecovers) {
+  ClusterConfig cfg{.num_servers = 1, .seed = 7};
+  cfg.server.stage_queue_capacity = 64;
+  cfg.server.call_timeout = Seconds(2);
+  Simulation sim;
+  Cluster cluster(&sim, cfg);
+  RegisterTestActors(&cluster);
+
+  ClientPool clients(&sim, &cluster,
+                     ClientConfig{.request_rate = 60000.0, .timeout = Seconds(3)},
+                     [](Rng& rng, ActorId* target, MethodId* method) {
+                       *target = MakeActorId(kEchoType, rng.NextBounded(10) + 1);
+                       *method = 1;
+                       return true;
+                     });
+  clients.Start();
+  sim.RunUntil(Seconds(3));
+  clients.Stop();
+  sim.RunUntil(sim.now() + Seconds(5));
+  // Overload sheds requests...
+  EXPECT_GT(cluster.server(0).stage(Server::kReceive).total_rejections(), 0u);
+  EXPECT_GT(clients.timeouts(), 0u);
+  // ...but the server stays live afterwards.
+  DirectClient probe(&sim, &cluster, 9);
+  int ok = 0;
+  probe.Call(MakeActorId(kEchoType, 1), 1, 0, 100, [&](const Response& r) {
+    ok += r.failed ? 0 : 1;
+  });
+  sim.RunUntil(sim.now() + Seconds(2));
+  EXPECT_EQ(ok, 1);
+}
+
+TEST(RoutingTest, ControlLossRecoversViaParkedCallRetry) {
+  // Crash an actor's home-directory server while a lookup is in flight: the
+  // parked call must be retried by the sweeper and eventually delivered.
+  ClusterConfig cfg{.num_servers = 4, .seed = 11};
+  cfg.server.call_timeout = Seconds(3);  // retry period = timeout / 3
+  Simulation sim;
+  Cluster cluster(&sim, cfg);
+  RegisterTestActors(&cluster);
+  DirectClient client(&sim, &cluster, 5);
+
+  const ActorId echo = MakeActorId(kEchoType, 4);
+  const ServerId home = DirectoryHomeOf(echo, 4);
+  int responses = 0;
+  client.Call(echo, 1, 0, 100, [&](const Response& r) {
+    if (!r.failed) {
+      responses++;
+    }
+  });
+  // Crash the home while the lookup may be in flight; the "replacement"
+  // server answers retried lookups.
+  sim.RunUntil(Micros(300));
+  cluster.CrashServer(home);
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(responses, 1);
+}
+
+TEST(RoutingTest, ActiveActorsListsEveryActivation) {
+  Simulation sim;
+  Cluster cluster(&sim, ClusterConfig{.num_servers = 2, .seed = 13});
+  RegisterTestActors(&cluster);
+  DirectClient client(&sim, &cluster, 5);
+  for (uint64_t k = 1; k <= 20; k++) {
+    client.Call(MakeActorId(kEchoType, k), 1, 0, 100, nullptr);
+  }
+  sim.RunUntil(Seconds(2));
+  size_t listed = 0;
+  for (int s = 0; s < 2; s++) {
+    const auto actors = cluster.server(s).ActiveActors();
+    listed += actors.size();
+    for (const ActorId a : actors) {
+      EXPECT_TRUE(cluster.server(s).IsActive(a));
+    }
+  }
+  EXPECT_EQ(listed, 20u);
+}
+
+}  // namespace
+}  // namespace actop

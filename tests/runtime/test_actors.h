@@ -1,0 +1,63 @@
+// Shared toy actors for runtime integration tests.
+
+#ifndef TESTS_RUNTIME_TEST_ACTORS_H_
+#define TESTS_RUNTIME_TEST_ACTORS_H_
+
+#include <memory>
+
+#include "src/actor/actor.h"
+#include "src/runtime/cluster.h"
+
+namespace actop {
+
+inline constexpr ActorType kEchoType = 100;
+inline constexpr ActorType kRelayType = 101;
+
+// Replies immediately; counts calls.
+class EchoActor : public Actor {
+ public:
+  void OnCall(CallContext& ctx) override {
+    calls_++;
+    ctx.Reply(64);
+  }
+  int calls() const { return calls_; }
+
+ private:
+  int calls_ = 0;
+};
+
+// Method 0: call the actor named by app_data, reply after its response.
+// Method 1: reply immediately.
+class RelayActor : public Actor {
+ public:
+  void OnCall(CallContext& ctx) override {
+    if (ctx.method() == 0 && ctx.app_data() != 0) {
+      CallContext* call = &ctx;
+      ctx.Call(static_cast<ActorId>(ctx.app_data()), 1, 128, [call, this](const Response& r) {
+        if (r.failed) {
+          failed_subcalls_++;
+        }
+        call->Reply(64);
+      });
+      return;
+    }
+    ctx.Reply(64);
+  }
+  int failed_subcalls() const { return failed_subcalls_; }
+
+ private:
+  int failed_subcalls_ = 0;
+};
+
+inline void RegisterTestActors(Cluster* cluster) {
+  CostModel costs;
+  costs.handler_compute = Micros(20);
+  cluster->RegisterActorType(
+      kEchoType, [](ActorId) { return std::make_unique<EchoActor>(); }, costs);
+  cluster->RegisterActorType(
+      kRelayType, [](ActorId) { return std::make_unique<RelayActor>(); }, costs);
+}
+
+}  // namespace actop
+
+#endif  // TESTS_RUNTIME_TEST_ACTORS_H_

@@ -1,0 +1,184 @@
+#include "src/seda/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/sim_time.h"
+#include "src/sim/simulation.h"
+
+namespace actop {
+namespace {
+
+TEST(CpuModelTest, SingleJobTakesItsDemand) {
+  Simulation sim;
+  CpuModel cpu(&sim, 4, 0.0);
+  cpu.set_total_threads(4);
+  SimTime done_at = -1;
+  cpu.BeginCompute(Millis(10), [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, Millis(10));
+}
+
+TEST(CpuModelTest, JobsWithinCoreCountRunInParallel) {
+  Simulation sim;
+  CpuModel cpu(&sim, 4, 0.0);
+  cpu.set_total_threads(4);
+  int finished = 0;
+  SimTime last = 0;
+  for (int i = 0; i < 4; i++) {
+    cpu.BeginCompute(Millis(10), [&] {
+      finished++;
+      last = sim.now();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(finished, 4);
+  EXPECT_EQ(last, Millis(10));  // no slowdown: 4 jobs on 4 cores
+}
+
+TEST(CpuModelTest, OversubscribedJobsShareCores) {
+  Simulation sim;
+  CpuModel cpu(&sim, 2, 0.0);
+  cpu.set_total_threads(4);
+  SimTime last = 0;
+  for (int i = 0; i < 4; i++) {
+    cpu.BeginCompute(Millis(10), [&] { last = sim.now(); });
+  }
+  sim.Run();
+  // 4 jobs on 2 cores, each progresses at rate 1/2 -> 20 ms.
+  EXPECT_EQ(last, Millis(20));
+}
+
+TEST(CpuModelTest, OversubscriptionPenaltySlowsJobs) {
+  Simulation sim;
+  CpuModel cpu(&sim, 2, 0.125);
+  // 4 concurrent jobs on 2 cores: share 1/2, efficiency 1/(1+0.125*2) = 0.8
+  // -> rate 0.4 -> 10 ms of demand takes 25 ms.
+  SimTime last = -1;
+  for (int i = 0; i < 4; i++) {
+    cpu.BeginCompute(Millis(10), [&] { last = sim.now(); });
+  }
+  sim.Run();
+  EXPECT_EQ(last, Millis(25));
+}
+
+TEST(CpuModelTest, NoPenaltyAtOrBelowCoreCount) {
+  Simulation sim;
+  CpuModel cpu(&sim, 8, 0.5);
+  // 8 jobs on 8 cores: no sharing, no over-subscription.
+  SimTime last = -1;
+  for (int i = 0; i < 8; i++) {
+    cpu.BeginCompute(Millis(10), [&] { last = sim.now(); });
+  }
+  sim.Run();
+  EXPECT_EQ(last, Millis(10));
+}
+
+TEST(CpuModelTest, IdleAllocatedThreadsCostNothing) {
+  Simulation sim;
+  CpuModel cpu(&sim, 2, 0.5);
+  cpu.set_total_threads(64);  // parked threads do not slow the one active job
+  SimTime done_at = -1;
+  cpu.BeginCompute(Millis(10), [&] { done_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, Millis(10));
+}
+
+TEST(CpuModelTest, LateArrivalSlowsInFlightJob) {
+  Simulation sim;
+  CpuModel cpu(&sim, 1, 0.0);
+  cpu.set_total_threads(2);
+  SimTime first_done = -1;
+  SimTime second_done = -1;
+  cpu.BeginCompute(Millis(10), [&] { first_done = sim.now(); });
+  sim.ScheduleAt(Millis(5), [&] {
+    cpu.BeginCompute(Millis(10), [&] { second_done = sim.now(); });
+  });
+  sim.Run();
+  // First job: 5 ms alone + remaining 5 ms at half rate = 15 ms.
+  EXPECT_EQ(first_done, Millis(15));
+  // Second job: shares until 15 ms (progress 5 ms), then 5 ms alone = 20 ms.
+  EXPECT_EQ(second_done, Millis(20));
+}
+
+TEST(CpuModelTest, ZeroDemandCompletesImmediately) {
+  Simulation sim;
+  CpuModel cpu(&sim, 1, 0.0);
+  bool done = false;
+  cpu.BeginCompute(0, [&] { done = true; });
+  EXPECT_FALSE(done);  // asynchronous even for zero cost
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(CpuModelTest, BusyAccountingSingleJob) {
+  Simulation sim;
+  CpuModel cpu(&sim, 4, 0.0);
+  cpu.BeginCompute(Millis(10), [] {});
+  sim.Run();
+  EXPECT_NEAR(cpu.busy_core_nanos(), static_cast<double>(Millis(10)), 1e3);
+}
+
+TEST(CpuModelTest, BusyAccountingSaturated) {
+  Simulation sim;
+  CpuModel cpu(&sim, 2, 0.0);
+  cpu.set_total_threads(4);
+  for (int i = 0; i < 4; i++) {
+    cpu.BeginCompute(Millis(10), [] {});
+  }
+  sim.Run();
+  // 40 ms of demand on 2 cores -> 20 ms wallclock, both cores busy.
+  EXPECT_NEAR(cpu.busy_core_nanos(), static_cast<double>(Millis(40)), 1e4);
+  EXPECT_EQ(sim.now(), Millis(20));
+}
+
+TEST(CpuModelTest, ChainedComputationsFromCallbacks) {
+  Simulation sim;
+  CpuModel cpu(&sim, 1, 0.0);
+  SimTime done_at = -1;
+  cpu.BeginCompute(Millis(5), [&] {
+    cpu.BeginCompute(Millis(5), [&] { done_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, Millis(10));
+}
+
+TEST(CpuModelTest, ConcurrencyChangeMidJobAppliesPenalty) {
+  Simulation sim;
+  CpuModel cpu(&sim, 1, 1.0);
+  SimTime first_done = -1;
+  cpu.BeginCompute(Millis(10), [&] { first_done = sim.now(); });
+  // At 5 ms a second job arrives: share 1/2, efficiency 1/(1+1) = 0.5
+  // -> each progresses at rate 1/4.
+  sim.ScheduleAt(Millis(5), [&] { cpu.BeginCompute(Millis(100), [] {}); });
+  sim.Run();
+  // First job: 5 ms alone + remaining 5 ms at rate 1/4 = 20 ms more.
+  EXPECT_EQ(first_done, Millis(25));
+}
+
+// Property sweep: total busy time equals total demand (no work lost or
+// duplicated) across job-count / core-count combinations.
+class CpuConservationTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CpuConservationTest, WorkIsConserved) {
+  const auto [cores, jobs] = GetParam();
+  Simulation sim;
+  CpuModel cpu(&sim, cores, 0.0);
+  cpu.set_total_threads(std::max(cores, jobs));
+  int finished = 0;
+  for (int i = 0; i < jobs; i++) {
+    // Stagger arrivals so the active set changes over time.
+    sim.ScheduleAt(Millis(i), [&] { cpu.BeginCompute(Millis(7), [&] { finished++; }); });
+  }
+  sim.Run();
+  EXPECT_EQ(finished, jobs);
+  EXPECT_NEAR(cpu.busy_core_nanos(), static_cast<double>(jobs) * Millis(7),
+              static_cast<double>(jobs) * 1e4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CpuConservationTest,
+                         ::testing::Combine(::testing::Values(1, 2, 8),
+                                            ::testing::Values(1, 3, 10, 25)));
+
+}  // namespace
+}  // namespace actop

@@ -1,0 +1,104 @@
+#include "src/seda/emulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/sim_time.h"
+#include "src/sim/simulation.h"
+
+namespace actop {
+namespace {
+
+EmulatorConfig TwoStageConfig() {
+  EmulatorConfig cfg;
+  cfg.cores = 4;
+  cfg.kappa = 0.0;
+  cfg.arrival_rate = 1000.0;
+  cfg.seed = 42;
+  cfg.stages = {
+      {.name = "a", .mean_compute = Micros(100), .mean_blocking = 0, .initial_threads = 2},
+      {.name = "b", .mean_compute = Micros(100), .mean_blocking = 0, .initial_threads = 2},
+  };
+  return cfg;
+}
+
+TEST(EmulatorTest, RequestsFlowThroughAllStages) {
+  Simulation sim;
+  Emulator emu(&sim, TwoStageConfig());
+  emu.Start();
+  sim.RunUntil(Seconds(2));
+  emu.Stop();
+  sim.Run();
+  // ~1000 req/s for 2 s.
+  EXPECT_GT(emu.completed_requests(), 1800u);
+  EXPECT_LT(emu.completed_requests(), 2200u);
+  EXPECT_EQ(emu.stage(0).total_completions(), emu.completed_requests());
+  EXPECT_EQ(emu.stage(1).total_completions(), emu.completed_requests());
+}
+
+TEST(EmulatorTest, LatencyRecordedPerRequest) {
+  Simulation sim;
+  Emulator emu(&sim, TwoStageConfig());
+  emu.Start();
+  sim.RunUntil(Seconds(1));
+  emu.Stop();
+  sim.Run();
+  EXPECT_EQ(emu.latency().count(), emu.completed_requests());
+  // At ρ = λ·x/t ≈ 0.05 per stage, latency should be close to 2·100 µs.
+  EXPECT_GT(emu.latency().mean(), static_cast<double>(Micros(150)));
+  EXPECT_LT(emu.latency().mean(), static_cast<double>(Micros(1500)));
+}
+
+TEST(EmulatorTest, UnderProvisionedStageBuildsQueue) {
+  EmulatorConfig cfg = TwoStageConfig();
+  // Stage b capacity: 1 thread / 2 ms per event = 500/s < 1000/s arrivals.
+  cfg.stages[1].mean_compute = Millis(2);
+  cfg.stages[1].initial_threads = 1;
+  Simulation sim;
+  Emulator emu(&sim, cfg);
+  emu.Start();
+  sim.RunUntil(Seconds(2));
+  EXPECT_GT(emu.stage(1).queue_length(), 200u);
+  EXPECT_LT(emu.stage(0).queue_length(), 50u);
+}
+
+TEST(EmulatorTest, ApplyThreadAllocationTakesEffect) {
+  Simulation sim;
+  Emulator emu(&sim, TwoStageConfig());
+  emu.ApplyThreadAllocation({5, 7});
+  EXPECT_EQ(emu.stage(0).threads(), 5);
+  EXPECT_EQ(emu.stage(1).threads(), 7);
+  EXPECT_EQ(emu.cpu().total_threads(), 12);
+}
+
+TEST(EmulatorTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulation sim;
+    Emulator emu(&sim, TwoStageConfig());
+    emu.Start();
+    sim.RunUntil(Seconds(1));
+    emu.Stop();
+    sim.Run();
+    return std::make_pair(emu.completed_requests(), emu.latency().p99());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(EmulatorTest, BlockingStageNeedsMoreThreads) {
+  // A stage whose events block 1 ms each at 1000 req/s needs > 1 concurrent
+  // event in flight; with 4 threads it keeps up without queueing.
+  EmulatorConfig cfg = TwoStageConfig();
+  cfg.stages[1].mean_compute = Micros(50);
+  cfg.stages[1].mean_blocking = Millis(1);
+  cfg.stages[1].initial_threads = 4;
+  Simulation sim;
+  Emulator emu(&sim, cfg);
+  emu.Start();
+  sim.RunUntil(Seconds(2));
+  EXPECT_LT(emu.stage(1).queue_length(), 100u);
+  // Blocking shows up in wallclock but not CPU time.
+  const StageWindow w = emu.stage(1).TakeWindow();
+  EXPECT_GT(w.mean_wallclock(), w.mean_compute() * 5.0);
+}
+
+}  // namespace
+}  // namespace actop

@@ -1,0 +1,173 @@
+#include "src/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace actop {
+namespace {
+
+TEST(SimulationTest, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Millis(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(Millis(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Millis(30));
+}
+
+TEST(SimulationTest, SameTimeEventsRunInScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    sim.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; i++) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulationTest, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime observed = -1;
+  sim.ScheduleAfter(Millis(10), [&] {
+    sim.ScheduleAfter(Millis(5), [&] { observed = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(observed, Millis(15));
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAfter(Millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, CancelTwiceReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.ScheduleAfter(Millis(1), [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  sim.Run();
+}
+
+TEST(SimulationTest, CancelInvalidIdReturnsFalse) {
+  Simulation sim;
+  EXPECT_FALSE(sim.Cancel(0));
+  EXPECT_FALSE(sim.Cancel(12345));
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int count = 0;
+  sim.ScheduleAt(Millis(10), [&] { count++; });
+  sim.ScheduleAt(Millis(20), [&] { count++; });
+  sim.ScheduleAt(Millis(30), [&] { count++; });
+  const uint64_t ran = sim.RunUntil(Millis(20));
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.now(), Millis(20));
+  sim.Run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, RunUntilSkipsCancelledEventBeyondDeadline) {
+  Simulation sim;
+  bool late_ran = false;
+  const EventId id = sim.ScheduleAt(Millis(5), [] {});
+  sim.ScheduleAt(Millis(50), [&] { late_ran = true; });
+  sim.Cancel(id);
+  sim.RunUntil(Millis(10));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.now(), Millis(10));
+}
+
+TEST(SimulationTest, PeriodicRunsRepeatedly) {
+  Simulation sim;
+  int ticks = 0;
+  sim.SchedulePeriodic(Millis(10), [&] { ticks++; });
+  sim.RunUntil(Millis(55));
+  EXPECT_EQ(ticks, 5);  // at 10, 20, 30, 40, 50
+}
+
+TEST(SimulationTest, CancelPeriodicStopsTicks) {
+  Simulation sim;
+  int ticks = 0;
+  const EventId id = sim.SchedulePeriodic(Millis(10), [&] { ticks++; });
+  sim.ScheduleAt(Millis(35), [&] { sim.CancelPeriodic(id); });
+  sim.RunUntil(Millis(100));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(SimulationTest, PeriodicCanCancelItself) {
+  Simulation sim;
+  int ticks = 0;
+  EventId id = 0;
+  id = sim.SchedulePeriodic(Millis(10), [&] {
+    ticks++;
+    if (ticks == 2) {
+      sim.CancelPeriodic(id);
+    }
+  });
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(SimulationTest, EventCanScheduleMoreEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    depth++;
+    if (depth < 100) {
+      sim.ScheduleAfter(Micros(1), recurse);
+    }
+  };
+  sim.ScheduleAfter(Micros(1), recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), Micros(100));
+}
+
+TEST(SimulationTest, EventsExecutedCounter) {
+  Simulation sim;
+  for (int i = 0; i < 7; i++) {
+    sim.ScheduleAfter(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(SimulationTest, RunOneReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.RunOne());
+  sim.ScheduleAfter(1, [] {});
+  EXPECT_TRUE(sim.RunOne());
+  EXPECT_FALSE(sim.RunOne());
+}
+
+TEST(SimulationTest, ZeroDelayEventRunsAtCurrentTime) {
+  Simulation sim;
+  SimTime when = -1;
+  sim.ScheduleAt(Millis(10), [&] {
+    sim.ScheduleAfter(0, [&] { when = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(when, Millis(10));
+}
+
+}  // namespace
+}  // namespace actop
