@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actop_bench_common.dir/counter_common.cc.o"
+  "CMakeFiles/actop_bench_common.dir/counter_common.cc.o.d"
+  "CMakeFiles/actop_bench_common.dir/halo_common.cc.o"
+  "CMakeFiles/actop_bench_common.dir/halo_common.cc.o.d"
+  "libactop_bench_common.a"
+  "libactop_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actop_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_queue_controller.dir/bench_fig07_queue_controller.cc.o"
+  "CMakeFiles/bench_fig07_queue_controller.dir/bench_fig07_queue_controller.cc.o.d"
+  "bench_fig07_queue_controller"
+  "bench_fig07_queue_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_queue_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

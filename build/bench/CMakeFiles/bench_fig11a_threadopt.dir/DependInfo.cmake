@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11a_threadopt.cc" "bench/CMakeFiles/bench_fig11a_threadopt.dir/bench_fig11a_threadopt.cc.o" "gcc" "bench/CMakeFiles/bench_fig11a_threadopt.dir/bench_fig11a_threadopt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/actop_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_seda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_threadopt.dir/bench_fig11a_threadopt.cc.o"
+  "CMakeFiles/bench_fig11a_threadopt.dir/bench_fig11a_threadopt.cc.o.d"
+  "bench_fig11a_threadopt"
+  "bench_fig11a_threadopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_threadopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_service.dir/chat_service.cc.o"
+  "CMakeFiles/chat_service.dir/chat_service.cc.o.d"
+  "chat_service"
+  "chat_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_presence_demo.dir/halo_presence_demo.cc.o"
+  "CMakeFiles/halo_presence_demo.dir/halo_presence_demo.cc.o.d"
+  "halo_presence_demo"
+  "halo_presence_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_presence_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actop_common.dir/common/flags.cc.o"
+  "CMakeFiles/actop_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/actop_common.dir/common/histogram.cc.o"
+  "CMakeFiles/actop_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/actop_common.dir/common/table.cc.o"
+  "CMakeFiles/actop_common.dir/common/table.cc.o.d"
+  "libactop_common.a"
+  "libactop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

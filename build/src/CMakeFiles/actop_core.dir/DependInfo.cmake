@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/offline_partitioner.cc" "src/CMakeFiles/actop_core.dir/core/offline_partitioner.cc.o" "gcc" "src/CMakeFiles/actop_core.dir/core/offline_partitioner.cc.o.d"
+  "/root/repo/src/core/pairwise_partition.cc" "src/CMakeFiles/actop_core.dir/core/pairwise_partition.cc.o" "gcc" "src/CMakeFiles/actop_core.dir/core/pairwise_partition.cc.o.d"
+  "/root/repo/src/core/param_estimator.cc" "src/CMakeFiles/actop_core.dir/core/param_estimator.cc.o" "gcc" "src/CMakeFiles/actop_core.dir/core/param_estimator.cc.o.d"
+  "/root/repo/src/core/partition_testbed.cc" "src/CMakeFiles/actop_core.dir/core/partition_testbed.cc.o" "gcc" "src/CMakeFiles/actop_core.dir/core/partition_testbed.cc.o.d"
+  "/root/repo/src/core/queuing_model.cc" "src/CMakeFiles/actop_core.dir/core/queuing_model.cc.o" "gcc" "src/CMakeFiles/actop_core.dir/core/queuing_model.cc.o.d"
+  "/root/repo/src/core/streaming_partitioner.cc" "src/CMakeFiles/actop_core.dir/core/streaming_partitioner.cc.o" "gcc" "src/CMakeFiles/actop_core.dir/core/streaming_partitioner.cc.o.d"
+  "/root/repo/src/core/thread_allocator.cc" "src/CMakeFiles/actop_core.dir/core/thread_allocator.cc.o" "gcc" "src/CMakeFiles/actop_core.dir/core/thread_allocator.cc.o.d"
+  "/root/repo/src/core/thread_controller.cc" "src/CMakeFiles/actop_core.dir/core/thread_controller.cc.o" "gcc" "src/CMakeFiles/actop_core.dir/core/thread_controller.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/actop_seda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actop_core.dir/core/offline_partitioner.cc.o"
+  "CMakeFiles/actop_core.dir/core/offline_partitioner.cc.o.d"
+  "CMakeFiles/actop_core.dir/core/pairwise_partition.cc.o"
+  "CMakeFiles/actop_core.dir/core/pairwise_partition.cc.o.d"
+  "CMakeFiles/actop_core.dir/core/param_estimator.cc.o"
+  "CMakeFiles/actop_core.dir/core/param_estimator.cc.o.d"
+  "CMakeFiles/actop_core.dir/core/partition_testbed.cc.o"
+  "CMakeFiles/actop_core.dir/core/partition_testbed.cc.o.d"
+  "CMakeFiles/actop_core.dir/core/queuing_model.cc.o"
+  "CMakeFiles/actop_core.dir/core/queuing_model.cc.o.d"
+  "CMakeFiles/actop_core.dir/core/streaming_partitioner.cc.o"
+  "CMakeFiles/actop_core.dir/core/streaming_partitioner.cc.o.d"
+  "CMakeFiles/actop_core.dir/core/thread_allocator.cc.o"
+  "CMakeFiles/actop_core.dir/core/thread_allocator.cc.o.d"
+  "CMakeFiles/actop_core.dir/core/thread_controller.cc.o"
+  "CMakeFiles/actop_core.dir/core/thread_controller.cc.o.d"
+  "libactop_core.a"
+  "libactop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

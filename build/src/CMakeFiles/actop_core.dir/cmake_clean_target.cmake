@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libactop_core.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/actor/directory.cc" "src/CMakeFiles/actop_runtime.dir/actor/directory.cc.o" "gcc" "src/CMakeFiles/actop_runtime.dir/actor/directory.cc.o.d"
+  "/root/repo/src/actor/location_cache.cc" "src/CMakeFiles/actop_runtime.dir/actor/location_cache.cc.o" "gcc" "src/CMakeFiles/actop_runtime.dir/actor/location_cache.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/actop_runtime.dir/net/network.cc.o" "gcc" "src/CMakeFiles/actop_runtime.dir/net/network.cc.o.d"
+  "/root/repo/src/runtime/client.cc" "src/CMakeFiles/actop_runtime.dir/runtime/client.cc.o" "gcc" "src/CMakeFiles/actop_runtime.dir/runtime/client.cc.o.d"
+  "/root/repo/src/runtime/cluster.cc" "src/CMakeFiles/actop_runtime.dir/runtime/cluster.cc.o" "gcc" "src/CMakeFiles/actop_runtime.dir/runtime/cluster.cc.o.d"
+  "/root/repo/src/runtime/partition_agent.cc" "src/CMakeFiles/actop_runtime.dir/runtime/partition_agent.cc.o" "gcc" "src/CMakeFiles/actop_runtime.dir/runtime/partition_agent.cc.o.d"
+  "/root/repo/src/runtime/server.cc" "src/CMakeFiles/actop_runtime.dir/runtime/server.cc.o" "gcc" "src/CMakeFiles/actop_runtime.dir/runtime/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/actop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_seda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

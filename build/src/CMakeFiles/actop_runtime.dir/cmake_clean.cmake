@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actop_runtime.dir/actor/directory.cc.o"
+  "CMakeFiles/actop_runtime.dir/actor/directory.cc.o.d"
+  "CMakeFiles/actop_runtime.dir/actor/location_cache.cc.o"
+  "CMakeFiles/actop_runtime.dir/actor/location_cache.cc.o.d"
+  "CMakeFiles/actop_runtime.dir/net/network.cc.o"
+  "CMakeFiles/actop_runtime.dir/net/network.cc.o.d"
+  "CMakeFiles/actop_runtime.dir/runtime/client.cc.o"
+  "CMakeFiles/actop_runtime.dir/runtime/client.cc.o.d"
+  "CMakeFiles/actop_runtime.dir/runtime/cluster.cc.o"
+  "CMakeFiles/actop_runtime.dir/runtime/cluster.cc.o.d"
+  "CMakeFiles/actop_runtime.dir/runtime/partition_agent.cc.o"
+  "CMakeFiles/actop_runtime.dir/runtime/partition_agent.cc.o.d"
+  "CMakeFiles/actop_runtime.dir/runtime/server.cc.o"
+  "CMakeFiles/actop_runtime.dir/runtime/server.cc.o.d"
+  "libactop_runtime.a"
+  "libactop_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actop_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

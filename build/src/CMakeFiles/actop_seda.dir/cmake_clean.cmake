@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actop_seda.dir/seda/cpu.cc.o"
+  "CMakeFiles/actop_seda.dir/seda/cpu.cc.o.d"
+  "CMakeFiles/actop_seda.dir/seda/emulator.cc.o"
+  "CMakeFiles/actop_seda.dir/seda/emulator.cc.o.d"
+  "CMakeFiles/actop_seda.dir/seda/stage.cc.o"
+  "CMakeFiles/actop_seda.dir/seda/stage.cc.o.d"
+  "libactop_seda.a"
+  "libactop_seda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actop_seda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

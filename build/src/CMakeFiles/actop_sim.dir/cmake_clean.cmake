@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actop_sim.dir/sim/simulation.cc.o"
+  "CMakeFiles/actop_sim.dir/sim/simulation.cc.o.d"
+  "libactop_sim.a"
+  "libactop_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actop_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/chat.cc" "src/CMakeFiles/actop_workload.dir/workload/chat.cc.o" "gcc" "src/CMakeFiles/actop_workload.dir/workload/chat.cc.o.d"
+  "/root/repo/src/workload/counter.cc" "src/CMakeFiles/actop_workload.dir/workload/counter.cc.o" "gcc" "src/CMakeFiles/actop_workload.dir/workload/counter.cc.o.d"
+  "/root/repo/src/workload/halo_presence.cc" "src/CMakeFiles/actop_workload.dir/workload/halo_presence.cc.o" "gcc" "src/CMakeFiles/actop_workload.dir/workload/halo_presence.cc.o.d"
+  "/root/repo/src/workload/heartbeat.cc" "src/CMakeFiles/actop_workload.dir/workload/heartbeat.cc.o" "gcc" "src/CMakeFiles/actop_workload.dir/workload/heartbeat.cc.o.d"
+  "/root/repo/src/workload/social.cc" "src/CMakeFiles/actop_workload.dir/workload/social.cc.o" "gcc" "src/CMakeFiles/actop_workload.dir/workload/social.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/actop_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_seda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actop_workload.dir/workload/chat.cc.o"
+  "CMakeFiles/actop_workload.dir/workload/chat.cc.o.d"
+  "CMakeFiles/actop_workload.dir/workload/counter.cc.o"
+  "CMakeFiles/actop_workload.dir/workload/counter.cc.o.d"
+  "CMakeFiles/actop_workload.dir/workload/halo_presence.cc.o"
+  "CMakeFiles/actop_workload.dir/workload/halo_presence.cc.o.d"
+  "CMakeFiles/actop_workload.dir/workload/heartbeat.cc.o"
+  "CMakeFiles/actop_workload.dir/workload/heartbeat.cc.o.d"
+  "CMakeFiles/actop_workload.dir/workload/social.cc.o"
+  "CMakeFiles/actop_workload.dir/workload/social.cc.o.d"
+  "libactop_workload.a"
+  "libactop_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actop_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/estimator_integration_test.cc" "tests/CMakeFiles/core_test.dir/core/estimator_integration_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/estimator_integration_test.cc.o.d"
+  "/root/repo/tests/core/offline_partitioner_test.cc" "tests/CMakeFiles/core_test.dir/core/offline_partitioner_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/offline_partitioner_test.cc.o.d"
+  "/root/repo/tests/core/pairwise_fuzz_test.cc" "tests/CMakeFiles/core_test.dir/core/pairwise_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pairwise_fuzz_test.cc.o.d"
+  "/root/repo/tests/core/pairwise_partition_test.cc" "tests/CMakeFiles/core_test.dir/core/pairwise_partition_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pairwise_partition_test.cc.o.d"
+  "/root/repo/tests/core/param_estimator_test.cc" "tests/CMakeFiles/core_test.dir/core/param_estimator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/param_estimator_test.cc.o.d"
+  "/root/repo/tests/core/partition_testbed_test.cc" "tests/CMakeFiles/core_test.dir/core/partition_testbed_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/partition_testbed_test.cc.o.d"
+  "/root/repo/tests/core/queuing_model_test.cc" "tests/CMakeFiles/core_test.dir/core/queuing_model_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/queuing_model_test.cc.o.d"
+  "/root/repo/tests/core/sized_partition_test.cc" "tests/CMakeFiles/core_test.dir/core/sized_partition_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sized_partition_test.cc.o.d"
+  "/root/repo/tests/core/space_saving_test.cc" "tests/CMakeFiles/core_test.dir/core/space_saving_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/space_saving_test.cc.o.d"
+  "/root/repo/tests/core/streaming_partitioner_test.cc" "tests/CMakeFiles/core_test.dir/core/streaming_partitioner_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/streaming_partitioner_test.cc.o.d"
+  "/root/repo/tests/core/thread_allocator_test.cc" "tests/CMakeFiles/core_test.dir/core/thread_allocator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/thread_allocator_test.cc.o.d"
+  "/root/repo/tests/core/thread_controller_test.cc" "tests/CMakeFiles/core_test.dir/core/thread_controller_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/thread_controller_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/actop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_seda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

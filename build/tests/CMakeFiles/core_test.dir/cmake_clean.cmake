@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/estimator_integration_test.cc.o"
+  "CMakeFiles/core_test.dir/core/estimator_integration_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/offline_partitioner_test.cc.o"
+  "CMakeFiles/core_test.dir/core/offline_partitioner_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pairwise_fuzz_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pairwise_fuzz_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/pairwise_partition_test.cc.o"
+  "CMakeFiles/core_test.dir/core/pairwise_partition_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/param_estimator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/param_estimator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/partition_testbed_test.cc.o"
+  "CMakeFiles/core_test.dir/core/partition_testbed_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/queuing_model_test.cc.o"
+  "CMakeFiles/core_test.dir/core/queuing_model_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sized_partition_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sized_partition_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/space_saving_test.cc.o"
+  "CMakeFiles/core_test.dir/core/space_saving_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/streaming_partitioner_test.cc.o"
+  "CMakeFiles/core_test.dir/core/streaming_partitioner_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/thread_allocator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/thread_allocator_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/thread_controller_test.cc.o"
+  "CMakeFiles/core_test.dir/core/thread_controller_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/actor/actor_api_test.cc" "tests/CMakeFiles/runtime_test.dir/actor/actor_api_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/actor/actor_api_test.cc.o.d"
+  "/root/repo/tests/actor/location_cache_test.cc" "tests/CMakeFiles/runtime_test.dir/actor/location_cache_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/actor/location_cache_test.cc.o.d"
+  "/root/repo/tests/net/network_test.cc" "tests/CMakeFiles/runtime_test.dir/net/network_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/net/network_test.cc.o.d"
+  "/root/repo/tests/runtime/client_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/client_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/client_test.cc.o.d"
+  "/root/repo/tests/runtime/failure_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/failure_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/failure_test.cc.o.d"
+  "/root/repo/tests/runtime/partition_agent_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/partition_agent_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/partition_agent_test.cc.o.d"
+  "/root/repo/tests/runtime/routing_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/routing_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/routing_test.cc.o.d"
+  "/root/repo/tests/runtime/server_test.cc" "tests/CMakeFiles/runtime_test.dir/runtime/server_test.cc.o" "gcc" "tests/CMakeFiles/runtime_test.dir/runtime/server_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/actop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_seda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

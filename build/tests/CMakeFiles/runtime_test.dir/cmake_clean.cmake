@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_test.dir/actor/actor_api_test.cc.o"
+  "CMakeFiles/runtime_test.dir/actor/actor_api_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/actor/location_cache_test.cc.o"
+  "CMakeFiles/runtime_test.dir/actor/location_cache_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/net/network_test.cc.o"
+  "CMakeFiles/runtime_test.dir/net/network_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/client_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/client_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/failure_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/failure_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/partition_agent_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/partition_agent_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/routing_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/routing_test.cc.o.d"
+  "CMakeFiles/runtime_test.dir/runtime/server_test.cc.o"
+  "CMakeFiles/runtime_test.dir/runtime/server_test.cc.o.d"
+  "runtime_test"
+  "runtime_test.pdb"
+  "runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/seda/cpu_test.cc" "tests/CMakeFiles/seda_test.dir/seda/cpu_test.cc.o" "gcc" "tests/CMakeFiles/seda_test.dir/seda/cpu_test.cc.o.d"
+  "/root/repo/tests/seda/emulator_test.cc" "tests/CMakeFiles/seda_test.dir/seda/emulator_test.cc.o" "gcc" "tests/CMakeFiles/seda_test.dir/seda/emulator_test.cc.o.d"
+  "/root/repo/tests/seda/queueing_theory_test.cc" "tests/CMakeFiles/seda_test.dir/seda/queueing_theory_test.cc.o" "gcc" "tests/CMakeFiles/seda_test.dir/seda/queueing_theory_test.cc.o.d"
+  "/root/repo/tests/seda/stage_test.cc" "tests/CMakeFiles/seda_test.dir/seda/stage_test.cc.o" "gcc" "tests/CMakeFiles/seda_test.dir/seda/stage_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/actop_seda.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/actop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seda_test.dir/seda/cpu_test.cc.o"
+  "CMakeFiles/seda_test.dir/seda/cpu_test.cc.o.d"
+  "CMakeFiles/seda_test.dir/seda/emulator_test.cc.o"
+  "CMakeFiles/seda_test.dir/seda/emulator_test.cc.o.d"
+  "CMakeFiles/seda_test.dir/seda/queueing_theory_test.cc.o"
+  "CMakeFiles/seda_test.dir/seda/queueing_theory_test.cc.o.d"
+  "CMakeFiles/seda_test.dir/seda/stage_test.cc.o"
+  "CMakeFiles/seda_test.dir/seda/stage_test.cc.o.d"
+  "seda_test"
+  "seda_test.pdb"
+  "seda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
