@@ -4,20 +4,26 @@
 
 namespace actop {
 
-ServerId DirectoryShard::LookupOrRegister(ActorId actor, ServerId suggested_owner) {
+DirEntry DirectoryShard::LookupOrRegister(ActorId actor, ServerId suggested_owner) {
   ACTOP_CHECK(suggested_owner != kNoServer);
-  auto [it, inserted] = entries_.try_emplace(actor, suggested_owner);
+  auto it = entries_.find(actor);
+  if (it == entries_.end()) {
+    const DirEntry entry{suggested_owner, next_token_++};
+    entries_.emplace(actor, entry);
+    return entry;
+  }
   return it->second;
 }
 
 ServerId DirectoryShard::Lookup(ActorId actor) const {
   auto it = entries_.find(actor);
-  return it == entries_.end() ? kNoServer : it->second;
+  return it == entries_.end() ? kNoServer : it->second.owner;
 }
 
-void DirectoryShard::Unregister(ActorId actor, ServerId owner) {
+void DirectoryShard::Unregister(ActorId actor, ServerId owner, uint64_t token) {
   auto it = entries_.find(actor);
-  if (it != entries_.end() && it->second == owner) {
+  if (it != entries_.end() && it->second.owner == owner &&
+      (token == 0 || it->second.token == token)) {
     entries_.erase(it);
   }
 }
@@ -25,7 +31,7 @@ void DirectoryShard::Unregister(ActorId actor, ServerId owner) {
 int DirectoryShard::EvictServer(ServerId server) {
   int evicted = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second == server) {
+    if (it->second.owner == server) {
       it = entries_.erase(it);
       evicted++;
     } else {

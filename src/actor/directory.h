@@ -5,10 +5,18 @@
 // Registration is first-writer-wins: concurrent activation races resolve to
 // a single owner. The shard itself is plain data + logic; the Server wires
 // it to control messages.
+//
+// Every registration carries a shard-local monotone token. Unregisters quote
+// the token of the registration they intend to remove, so an unregister
+// delayed in the network cannot erase a newer registration that happens to
+// name the same owner (deactivate -> re-activate at the same server -> stale
+// unregister arrives). Token 0 is a wildcard that matches any registration
+// by the right owner (legacy callers and crash-path eviction).
 
 #ifndef SRC_ACTOR_DIRECTORY_H_
 #define SRC_ACTOR_DIRECTORY_H_
 
+#include <cstdint>
 #include <unordered_map>
 
 #include "src/common/ids.h"
@@ -21,18 +29,27 @@ constexpr ServerId DirectoryHomeOf(ActorId actor, int num_servers) {
   return static_cast<ServerId>(SplitMix64(actor) % static_cast<uint64_t>(num_servers));
 }
 
+// A registration: which server owns the activation, fenced by the token the
+// shard minted when the entry was created.
+struct DirEntry {
+  ServerId owner = kNoServer;
+  uint64_t token = 0;
+};
+
 class DirectoryShard {
  public:
-  // Returns the current owner; if the actor is unregistered, registers
-  // `suggested_owner` and returns it (first-writer-wins semantics).
-  ServerId LookupOrRegister(ActorId actor, ServerId suggested_owner);
+  // Returns the current registration; if the actor is unregistered,
+  // registers `suggested_owner` under a fresh token and returns that
+  // (first-writer-wins semantics).
+  DirEntry LookupOrRegister(ActorId actor, ServerId suggested_owner);
 
   // Returns the current owner, or kNoServer.
   ServerId Lookup(ActorId actor) const;
 
-  // Removes the entry if it still points at `owner` (a stale unregister from
-  // a previous owner must not evict a newer activation).
-  void Unregister(ActorId actor, ServerId owner);
+  // Removes the entry if it still points at `owner` AND carries `token`
+  // (a stale unregister from a previous registration must not evict a newer
+  // one). token == 0 matches any token of the right owner.
+  void Unregister(ActorId actor, ServerId owner, uint64_t token = 0);
 
   // Removes every entry owned by `server` (membership change / crash).
   // Returns how many entries were evicted.
@@ -40,8 +57,13 @@ class DirectoryShard {
 
   size_t size() const { return entries_.size(); }
 
+  // Read-only view of the shard's entries (invariant checking, churn
+  // injection).
+  const std::unordered_map<ActorId, DirEntry>& entries() const { return entries_; }
+
  private:
-  std::unordered_map<ActorId, ServerId> entries_;
+  std::unordered_map<ActorId, DirEntry> entries_;
+  uint64_t next_token_ = 1;
 };
 
 }  // namespace actop

@@ -9,6 +9,7 @@
 #define SRC_ACTOR_LOCATION_CACHE_H_
 
 #include <cstddef>
+#include <functional>
 #include <list>
 #include <unordered_map>
 
@@ -36,6 +37,14 @@ class LocationCache {
   void InvalidateServer(ServerId server);
 
   void Clear();
+
+  // Visits every (actor, server) entry in LRU order without touching
+  // recency; used by the chaos invariant checker.
+  void ForEach(const std::function<void(ActorId, ServerId)>& fn) const {
+    for (const Entry& e : lru_) {
+      fn(e.actor, e.server);
+    }
+  }
 
   size_t size() const { return map_.size(); }
   uint64_t hits() const { return hits_; }

@@ -23,8 +23,20 @@ void Network::Send(NodeId from, NodeId to, uint32_t bytes, std::shared_ptr<void>
   ACTOP_CHECK(to >= 0 && to < static_cast<NodeId>(nodes_.size()));
   total_messages_++;
   total_bytes_ += bytes;
+  SimDuration fault_delay = 0;
+  if (fault_injector_) {
+    const FaultDecision fault = fault_injector_(from, to, bytes);
+    if (fault.drop) {
+      dropped_messages_++;
+      return;
+    }
+    if (fault.extra_delay > 0) {
+      delayed_messages_++;
+      fault_delay = fault.extra_delay;
+    }
+  }
   const auto wire = static_cast<SimDuration>(config_.ns_per_byte * static_cast<double>(bytes));
-  const SimDuration delay = config_.one_way_latency + wire;
+  const SimDuration delay = config_.one_way_latency + wire + fault_delay;
   sim_->ScheduleAfter(delay, [this, from, to, bytes, msg = std::move(msg)] {
     nodes_[static_cast<size_t>(to)](from, bytes, msg);
   });

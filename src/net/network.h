@@ -33,9 +33,19 @@ struct NetworkConfig {
   double ns_per_byte = 8.0;
 };
 
+// Verdict of the fault injector for one message (chaos testing). Extra delay
+// lets later messages overtake this one, which exercises reordering paths.
+struct FaultDecision {
+  bool drop = false;
+  SimDuration extra_delay = 0;
+};
+
 class Network {
  public:
   using DeliverFn = std::function<void(NodeId from, uint32_t bytes, std::shared_ptr<void> msg)>;
+  // Inspects a message about to be sent and decides its fate. The injector
+  // sees every message (application and control, server and client links).
+  using FaultFn = std::function<FaultDecision(NodeId from, NodeId to, uint32_t bytes)>;
 
   Network(Simulation* sim, NetworkConfig config);
 
@@ -46,8 +56,13 @@ class Network {
   // Sends a message of the given (modeled) size from `from` to `to`.
   void Send(NodeId from, NodeId to, uint32_t bytes, std::shared_ptr<void> msg);
 
+  // Installs (or, with nullptr, removes) the chaos fault injector.
+  void set_fault_injector(FaultFn fn) { fault_injector_ = std::move(fn); }
+
   uint64_t total_messages() const { return total_messages_; }
   uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t dropped_messages() const { return dropped_messages_; }
+  uint64_t delayed_messages() const { return delayed_messages_; }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   const NetworkConfig& config() const { return config_; }
 
@@ -55,8 +70,11 @@ class Network {
   Simulation* sim_;
   NetworkConfig config_;
   std::vector<DeliverFn> nodes_;
+  FaultFn fault_injector_;
   uint64_t total_messages_ = 0;
   uint64_t total_bytes_ = 0;
+  uint64_t dropped_messages_ = 0;
+  uint64_t delayed_messages_ = 0;
 };
 
 }  // namespace actop

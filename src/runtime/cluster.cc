@@ -160,4 +160,19 @@ void Cluster::CrashServer(ServerId id) {
   }
 }
 
+int Cluster::ChurnDirectoryShard(ServerId id) {
+  ACTOP_CHECK(id >= 0 && id < static_cast<ServerId>(servers_.size()));
+  // Copy the entries first: DeactivateActor mutates the shard when the owner
+  // is also the home.
+  const auto entries = servers_[static_cast<size_t>(id)]->directory_shard().entries();
+  int churned = 0;
+  for (const auto& [actor, entry] : entries) {
+    if (entry.owner >= 0 && entry.owner < static_cast<ServerId>(servers_.size()) &&
+        servers_[static_cast<size_t>(entry.owner)]->DeactivateActor(actor)) {
+      churned++;
+    }
+  }
+  return churned;
+}
+
 }  // namespace actop

@@ -90,6 +90,13 @@ class Cluster {
   // drop entries pointing at it.
   void CrashServer(ServerId id);
 
+  // Simulates churn of the directory shard homed at `id` (shard handoff /
+  // idle-activation collection sweep): every idle actor registered there is
+  // deactivated and unregistered, so subsequent calls must re-place and
+  // re-register it from scratch. Busy actors keep their entries. Returns the
+  // number of actors churned.
+  int ChurnDirectoryShard(ServerId id);
+
   Rng& rng() { return rng_; }
 
  private:

@@ -50,14 +50,17 @@ struct DirLookupRequest {
 struct DirLookupResponse {
   ActorId actor = kNoActor;
   ServerId owner = kNoServer;
+  uint64_t token = 0;  // registration token backing this answer
   uint64_t request_id = 0;
 };
 
 // Remove the directory entry (deactivation / migration), but only if it
-// still points at `owner`.
+// still points at `owner` under the same registration `token` — a stale
+// unregister must not evict a newer registration.
 struct DirUnregister {
   ActorId actor = kNoActor;
   ServerId owner = kNoServer;
+  uint64_t token = 0;
 };
 
 // Prime the receiver's location cache (opportunistic migration, §4.3).

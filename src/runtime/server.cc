@@ -156,18 +156,18 @@ void Server::HandleControl(const Envelope& env, NodeId from) {
   const ServerId from_server = cluster_->ServerOfNode(from);
   if (const auto* req = std::get_if<DirLookupRequest>(&env.control)) {
     ACTOP_CHECK(DirectoryHomeOf(req->actor, cluster_->num_servers()) == id_);
-    const ServerId owner = directory_shard_.LookupOrRegister(req->actor, req->suggested_owner);
+    const DirEntry entry = directory_shard_.LookupOrRegister(req->actor, req->suggested_owner);
     SendControl(from_server,
-                DirLookupResponse{.actor = req->actor, .owner = owner,
-                                  .request_id = req->request_id});
+                DirLookupResponse{.actor = req->actor, .owner = entry.owner,
+                                  .token = entry.token, .request_id = req->request_id});
     return;
   }
   if (const auto* resp = std::get_if<DirLookupResponse>(&env.control)) {
-    OnDirectoryAnswer(resp->actor, resp->owner);
+    OnDirectoryAnswer(resp->actor, resp->owner, resp->token);
     return;
   }
   if (const auto* unreg = std::get_if<DirUnregister>(&env.control)) {
-    directory_shard_.Unregister(unreg->actor, unreg->owner);
+    directory_shard_.Unregister(unreg->actor, unreg->owner, unreg->token);
     return;
   }
   if (const auto* update = std::get_if<CacheUpdate>(&env.control)) {
@@ -221,10 +221,12 @@ void Server::ResolveViaDirectory(std::shared_ptr<Envelope> env) {
   const ServerId home = DirectoryHomeOf(target, cluster_->num_servers());
   const ServerId suggestion = SuggestPlacement(target);
   if (home == id_) {
-    const ServerId owner = directory_shard_.LookupOrRegister(target, suggestion);
+    const DirEntry entry = directory_shard_.LookupOrRegister(target, suggestion);
     // Defer via the event queue: the parked list must not be consumed
     // synchronously inside the caller's frame.
-    sim_->ScheduleAfter(0, [this, target, owner] { OnDirectoryAnswer(target, owner); });
+    sim_->ScheduleAfter(0, [this, target, entry] {
+      OnDirectoryAnswer(target, entry.owner, entry.token);
+    });
     return;
   }
   SendControl(home, DirLookupRequest{.actor = target, .suggested_owner = suggestion,
@@ -255,7 +257,36 @@ ServerId Server::SuggestPlacement(ActorId actor) {
   return id_;
 }
 
-void Server::OnDirectoryAnswer(ActorId actor, ServerId owner) {
+void Server::OnDirectoryAnswer(ActorId actor, ServerId owner, uint64_t token) {
+  if (owner == id_) {
+    auto fence = pending_unregisters_.find(actor);
+    if (fence != pending_unregisters_.end()) {
+      if (fence->second.token == token && sim_->now() < fence->second.expires) {
+        // The answer names a registration we already unregistered; the
+        // DirUnregister may still be in flight, so adopting it would hand
+        // the activation a doomed directory entry. Leave the calls parked
+        // and re-resolve once the unregister has landed (or the fence
+        // expires, if the unregister was lost).
+        auto parked = parked_calls_.find(actor);
+        if (parked != parked_calls_.end() && !parked->second.entries.empty()) {
+          const ServerId home = DirectoryHomeOf(actor, cluster_->num_servers());
+          sim_->ScheduleAfter(Millis(10), [this, actor, home] {
+            if (!parked_calls_.contains(actor)) {
+              return;
+            }
+            SendControl(home, DirLookupRequest{.actor = actor,
+                                               .suggested_owner = SuggestPlacement(actor),
+                                               .request_id = next_exchange_token_++});
+          });
+        }
+        return;
+      }
+      // Either a different token supersedes the fenced registration (it is
+      // gone for good) or the fence expired (the unregister is no longer in
+      // flight anywhere): adopting is safe.
+      pending_unregisters_.erase(fence);
+    }
+  }
   location_cache_.Put(actor, owner);
   auto it = parked_calls_.find(actor);
   if (it == parked_calls_.end()) {
@@ -265,19 +296,20 @@ void Server::OnDirectoryAnswer(ActorId actor, ServerId owner) {
   parked_calls_.erase(it);
   for (auto& env : envs) {
     if (owner == id_) {
-      ActivateAndDeliver(std::move(env));
+      ActivateAndDeliver(std::move(env), token);
     } else {
       ForwardCall(std::move(env), owner);
     }
   }
 }
 
-void Server::ActivateAndDeliver(std::shared_ptr<Envelope> env) {
+void Server::ActivateAndDeliver(std::shared_ptr<Envelope> env, uint64_t token) {
   const ActorId target = env->target;
   if (!activations_.contains(target)) {
     Activation act;
     act.instance = cluster_->GetOrCreateActor(target);
     act.activation_pending = true;
+    act.dir_token = token;
     activations_.emplace(target, std::move(act));
     activations_started_++;
   }
@@ -562,25 +594,55 @@ bool Server::IsMigratable(ActorId actor) const {
          act.pending_subcalls == 0;
 }
 
+void Server::DropActivationAndUnregister(ActorId actor) {
+  auto it = activations_.find(actor);
+  ACTOP_CHECK(it != activations_.end());
+  const uint64_t token = it->second.dir_token;
+  activations_.erase(it);
+  const ServerId home = DirectoryHomeOf(actor, cluster_->num_servers());
+  if (home == id_) {
+    directory_shard_.Unregister(actor, id_, token);
+    return;
+  }
+  SendControl(home, DirUnregister{.actor = actor, .owner = id_, .token = token});
+  // Until that message lands, the shard still advertises the dead
+  // registration; fence it so a racing lookup answer cannot re-adopt it.
+  pending_unregisters_[actor] = UnregisterFence{token, sim_->now() + config_.call_timeout};
+}
+
 bool Server::MigrateActor(ActorId actor, ServerId dest) {
   if (dest == id_ || !IsMigratable(actor)) {
     return false;
   }
-  activations_.erase(actor);
   migrations_out_++;
   cluster_->metrics().CountMigration();
   // Opportunistic migration (§4.3): drop the directory entry and prime the
   // location caches of this server and the destination. The next call to the
   // actor re-activates it at `dest`.
-  const ServerId home = DirectoryHomeOf(actor, cluster_->num_servers());
-  if (home == id_) {
-    directory_shard_.Unregister(actor, id_);
-  } else {
-    SendControl(home, DirUnregister{.actor = actor, .owner = id_});
-  }
+  DropActivationAndUnregister(actor);
   location_cache_.Put(actor, dest);
   SendControl(dest, CacheUpdate{.actor = actor, .owner = dest});
   return true;
+}
+
+bool Server::DeactivateActor(ActorId actor) {
+  if (!IsMigratable(actor)) {
+    return false;
+  }
+  DropActivationAndUnregister(actor);
+  location_cache_.Invalidate(actor);
+  return true;
+}
+
+void Server::ForceActivateForTest(ActorId actor) {
+  if (activations_.contains(actor)) {
+    return;
+  }
+  Activation act;
+  act.instance = cluster_->GetOrCreateActor(actor);
+  act.activation_pending = true;
+  activations_.emplace(actor, std::move(act));
+  activations_started_++;
 }
 
 void Server::Crash() {
@@ -590,6 +652,7 @@ void Server::Crash() {
   pending_calls_.clear();
   timeout_queue_.clear();
   open_call_contexts_.clear();
+  pending_unregisters_.clear();
   location_cache_.Clear();
 }
 
@@ -628,9 +691,11 @@ void Server::SweepTimeouts() {
     const ServerId home = DirectoryHomeOf(actor, cluster_->num_servers());
     const ServerId suggestion = SuggestPlacement(actor);
     if (home == id_) {
-      const ServerId owner = directory_shard_.LookupOrRegister(actor, suggestion);
+      const DirEntry entry = directory_shard_.LookupOrRegister(actor, suggestion);
       const ActorId actor_copy = actor;
-      sim_->ScheduleAfter(0, [this, actor_copy, owner] { OnDirectoryAnswer(actor_copy, owner); });
+      sim_->ScheduleAfter(0, [this, actor_copy, entry] {
+        OnDirectoryAnswer(actor_copy, entry.owner, entry.token);
+      });
     } else {
       SendControl(home, DirLookupRequest{.actor = actor, .suggested_owner = suggestion,
                                          .request_id = next_exchange_token_++});

@@ -151,6 +151,18 @@ class Server : public ThreadHost {
   bool MigrateActor(ActorId actor, ServerId dest);
   uint64_t migrations_out() const { return migrations_out_; }
 
+  // Deactivates an idle actor without a destination hint (models Orleans'
+  // idle-activation collection and directory-shard churn): the activation is
+  // dropped, its directory entry unregistered, and the next call re-places
+  // it from scratch. Returns false if the actor is not currently migratable.
+  bool DeactivateActor(ActorId actor);
+
+  // Testing backdoor: force-activates `actor` locally without consulting the
+  // directory. Deliberately violates the single-activation protocol — used
+  // only by the chaos harness to prove the invariant checker detects
+  // duplicate activations. Never call outside tests.
+  void ForceActivateForTest(ActorId actor);
+
   // --- Crash injection ---
   // Drops every activation, mailbox, parked message and pending call.
   // In-flight calls from other servers eventually fail via timeouts.
@@ -196,6 +208,7 @@ class Server : public ThreadHost {
     bool activation_pending = true;  // first turn pays the activation cost
     int open_contexts = 0;      // delivered calls not yet replied to
     int pending_subcalls = 0;   // sub-calls awaiting a response
+    uint64_t dir_token = 0;     // token of the directory registration backing us
     std::deque<std::shared_ptr<Envelope>> mailbox;
   };
 
@@ -216,8 +229,11 @@ class Server : public ThreadHost {
   void HandleControl(const Envelope& env, NodeId from);
   void RouteCall(std::shared_ptr<Envelope> env);
   void ResolveViaDirectory(std::shared_ptr<Envelope> env);
-  void OnDirectoryAnswer(ActorId actor, ServerId owner);
-  void ActivateAndDeliver(std::shared_ptr<Envelope> env);
+  void OnDirectoryAnswer(ActorId actor, ServerId owner, uint64_t token);
+  void ActivateAndDeliver(std::shared_ptr<Envelope> env, uint64_t token);
+  // Deactivates + unregisters, fencing the in-flight unregister so a racing
+  // lookup answer cannot resurrect the doomed registration.
+  void DropActivationAndUnregister(ActorId actor);
   void DeliverLocalCall(std::shared_ptr<Envelope> env);
   void StartTurn(ActorId actor, std::shared_ptr<Envelope> env);
   void FinishTurn(ActorId actor);
@@ -266,6 +282,22 @@ class Server : public ThreadHost {
   // Calls parked while a directory lookup is in flight, keyed by actor.
   std::unordered_map<ActorId, ParkedCalls> parked_calls_;
   uint64_t next_exchange_token_ = 1;
+
+  // Registration tokens this server has unregistered but whose DirUnregister
+  // message may still be in flight to a remote home shard. A directory
+  // answer naming us owner under a fenced token must not be adopted: the
+  // registration is doomed, so we re-resolve instead. An answer under any
+  // other token clears the fence (tokens are monotone per shard, so the
+  // fenced registration is gone for good by then). Fences expire after
+  // call_timeout: past that, the unregister either landed (the token could
+  // no longer be served) or was lost, and re-adopting the registration is
+  // safe — without the expiry, a dropped unregister would park the actor's
+  // calls forever.
+  struct UnregisterFence {
+    uint64_t token = 0;
+    SimTime expires = 0;
+  };
+  std::unordered_map<ActorId, UnregisterFence> pending_unregisters_;
 
   // Unreplied call contexts: an actor may Reply() from a sub-call
   // continuation long after its turn ended, so the runtime keeps the context

@@ -29,18 +29,26 @@ EventId Simulation::SchedulePeriodic(SimDuration period, std::function<void()> f
   const EventId control_id = next_id_++;
   auto tick = std::make_shared<std::function<void()>>();
   auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
-  *tick = [this, control_id, period, tick, shared_fn]() {
+  // The tick looks itself up in periodics_ to reschedule rather than
+  // capturing its own shared_ptr, which would be a self-reference cycle the
+  // refcount could never break.
+  *tick = [this, control_id, period, shared_fn]() {
     if (cancelled_periodics_.contains(control_id)) {
       cancelled_periodics_.erase(control_id);
+      periodics_.erase(control_id);
       return;
     }
     (*shared_fn)();
     if (cancelled_periodics_.contains(control_id)) {
       cancelled_periodics_.erase(control_id);
+      periodics_.erase(control_id);
       return;
     }
-    ScheduleAfter(period, *tick);
+    if (auto it = periodics_.find(control_id); it != periodics_.end()) {
+      ScheduleAfter(period, *it->second);
+    }
   };
+  periodics_[control_id] = tick;
   ScheduleAfter(period, *tick);
   return control_id;
 }
@@ -55,6 +63,9 @@ void Simulation::Dispatch(Event& ev) {
   // events, which can reallocate the heap storage.
   std::function<void()> fn = std::move(ev.fn);
   fn();
+  if (after_event_hook_) {
+    after_event_hook_();
+  }
 }
 
 bool Simulation::RunOne() {

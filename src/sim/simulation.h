@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -62,6 +64,11 @@ class Simulation {
   // Runs the single next event if any; returns false when the queue is empty.
   bool RunOne();
 
+  // Observation hook invoked after every dispatched event (chaos harness:
+  // event-batch invariant checks). The hook must not run events itself, but
+  // may schedule new ones. Pass nullptr to remove.
+  void set_after_event_hook(std::function<void()> hook) { after_event_hook_ = std::move(hook); }
+
   // Number of events currently pending.
   size_t pending_events() const { return queue_.size() - cancelled_.size(); }
 
@@ -88,8 +95,13 @@ class Simulation {
   void Dispatch(Event& ev);
 
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::function<void()> after_event_hook_;
   std::unordered_set<EventId> cancelled_;
   std::unordered_set<EventId> cancelled_periodics_;
+  // Live periodic ticks, owned here so a tick does not have to own itself
+  // (a self-referential std::function would never be freed). Erased on
+  // cancellation.
+  std::unordered_map<EventId, std::shared_ptr<std::function<void()>>> periodics_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 1;
   EventId next_id_ = 1;

@@ -1,0 +1,174 @@
+#include "src/testing/chaos.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+ChaosController::ChaosController(Simulation* sim, Cluster* cluster, ChaosConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      config_(config),
+      tick_rng_(SplitMix64(config.seed)),
+      message_rng_(SplitMix64(config.seed ^ 0x6368616f732d6d73ULL)),  // "chaos-ms"
+      checker_(cluster) {
+  ACTOP_CHECK(sim != nullptr);
+  ACTOP_CHECK(config_.faults_start <= config_.faults_end);
+}
+
+ChaosController::~ChaosController() {
+  if (started_) {
+    Stop();
+  }
+}
+
+void ChaosController::Start() {
+  ACTOP_CHECK(!started_);
+  started_ = true;
+  cluster_->network().set_fault_injector(
+      [this](NodeId from, NodeId to, uint32_t bytes) { return OnMessage(from, to, bytes); });
+  if (config_.check_every_events > 0) {
+    sim_->set_after_event_hook([this] {
+      if (++events_seen_ % config_.check_every_events == 0) {
+        RecordViolations(checker_.CheckInstant());
+      }
+    });
+  }
+  const SimTime first = std::max(sim_->now(), config_.faults_start);
+  if (config_.duplication_bug_actor != kNoActor) {
+    sim_->ScheduleAt(first, [this] { InjectDuplicationBug(); });
+  }
+  tick_event_ = sim_->ScheduleAt(first, [this] { Tick(); });
+}
+
+void ChaosController::Stop() {
+  ACTOP_CHECK(started_);
+  started_ = false;
+  cluster_->network().set_fault_injector(nullptr);
+  sim_->set_after_event_hook(nullptr);
+  sim_->Cancel(tick_event_);
+}
+
+void ChaosController::Tick() {
+  if (!started_ || sim_->now() >= config_.faults_end) {
+    return;
+  }
+  const int n = cluster_->num_servers();
+
+  if (config_.crash_prob > 0.0 && tick_rng_.NextBool(config_.crash_prob)) {
+    const auto victim = static_cast<ServerId>(tick_rng_.NextBounded(static_cast<uint64_t>(n)));
+    cluster_->CrashServer(victim);
+    crashes_++;
+    Record("crash server " + std::to_string(victim));
+  }
+
+  if (config_.directory_churn_prob > 0.0 && tick_rng_.NextBool(config_.directory_churn_prob)) {
+    const auto shard = static_cast<ServerId>(tick_rng_.NextBounded(static_cast<uint64_t>(n)));
+    const int churned = cluster_->ChurnDirectoryShard(shard);
+    shard_churns_++;
+    Record("churn directory shard " + std::to_string(shard) + " (" + std::to_string(churned) +
+           " actors)");
+  }
+
+  for (int i = 0; i < config_.forced_migrations_per_tick && n > 1; i++) {
+    const auto src = static_cast<ServerId>(tick_rng_.NextBounded(static_cast<uint64_t>(n)));
+    // Sort: unordered_map iteration order must not leak into the schedule.
+    std::vector<ActorId> actors = cluster_->server(src).ActiveActors();
+    std::sort(actors.begin(), actors.end());
+    if (actors.empty()) {
+      continue;
+    }
+    const ActorId actor = actors[tick_rng_.NextBounded(actors.size())];
+    auto dest = static_cast<ServerId>(tick_rng_.NextBounded(static_cast<uint64_t>(n - 1)));
+    if (dest >= src) {
+      dest++;
+    }
+    if (cluster_->server(src).MigrateActor(actor, dest)) {
+      forced_migrations_++;
+      Record("migrate actor " + std::to_string(actor) + ": " + std::to_string(src) + " -> " +
+             std::to_string(dest));
+    }
+  }
+
+  tick_event_ = sim_->ScheduleAfter(config_.tick, [this] { Tick(); });
+}
+
+void ChaosController::InjectDuplicationBug() {
+  const int n = cluster_->num_servers();
+  if (!started_ || n < 2) {
+    return;
+  }
+  const auto first = static_cast<ServerId>(tick_rng_.NextBounded(static_cast<uint64_t>(n)));
+  auto second = static_cast<ServerId>(tick_rng_.NextBounded(static_cast<uint64_t>(n - 1)));
+  if (second >= first) {
+    second++;
+  }
+  cluster_->server(first).ForceActivateForTest(config_.duplication_bug_actor);
+  cluster_->server(second).ForceActivateForTest(config_.duplication_bug_actor);
+  Record("BUG DEMO: force-activated actor " + std::to_string(config_.duplication_bug_actor) +
+         " on servers " + std::to_string(first) + " and " + std::to_string(second));
+}
+
+void ChaosController::Record(std::string what) {
+  if (schedule_.size() < config_.max_recorded_schedule) {
+    schedule_.push_back(ChaosEvent{sim_->now(), std::move(what)});
+  }
+}
+
+void ChaosController::RecordViolations(const std::vector<std::string>& found) {
+  total_violations_ += found.size();
+  for (const std::string& v : found) {
+    if (violations_.size() >= config_.max_recorded_violations) {
+      break;
+    }
+    violations_.push_back("[t=" + std::to_string(sim_->now() / Millis(1)) + "ms] " + v);
+  }
+}
+
+FaultDecision ChaosController::OnMessage(NodeId from, NodeId to, uint32_t bytes) {
+  (void)bytes;
+  FaultDecision decision;
+  const SimTime now = sim_->now();
+  if (now < config_.faults_start || now >= config_.faults_end) {
+    return decision;
+  }
+  if (!config_.fault_client_links && (cluster_->ServerOfNode(from) == kNoServer ||
+                                      cluster_->ServerOfNode(to) == kNoServer)) {
+    return decision;
+  }
+  if (config_.drop_prob > 0.0 && message_rng_.NextBool(config_.drop_prob)) {
+    decision.drop = true;
+    dropped_messages_++;
+    return decision;
+  }
+  if (config_.delay_prob > 0.0 && message_rng_.NextBool(config_.delay_prob)) {
+    decision.extra_delay = message_rng_.NextUniformDuration(0, config_.max_extra_delay);
+    delayed_messages_++;
+  }
+  return decision;
+}
+
+std::string ChaosController::FailureReport(size_t schedule_prefix) const {
+  std::ostringstream os;
+  os << "chaos seed " << config_.seed << ": " << total_violations_ << " invariant violation(s)";
+  if (total_violations_ > 0) {
+    os << " (showing " << violations_.size() << ")";
+  }
+  os << "\n";
+  for (const std::string& v : violations_) {
+    os << "  " << v << "\n";
+  }
+  os << "fault schedule prefix (" << std::min(schedule_prefix, schedule_.size()) << " of "
+     << schedule_.size() << " recorded):\n";
+  for (size_t i = 0; i < schedule_.size() && i < schedule_prefix; i++) {
+    os << "  [t=" << schedule_[i].at / Millis(1) << "ms] " << schedule_[i].what << "\n";
+  }
+  os << "reproduce: rerun this scenario with seed=" << config_.seed
+     << " (the schedule replays byte-for-byte)\n";
+  return os.str();
+}
+
+}  // namespace actop

@@ -1,0 +1,138 @@
+// Seed-driven chaos controller.
+//
+// One RNG seed fully determines a fault schedule — server crashes, message
+// drops/delays (and therefore reorderings), directory-shard churn, and forced
+// migrations racing the §4.2 pairwise exchange protocol — injected through
+// the Simulation after-event hook, the Network fault injector, and the
+// Cluster failure-injection entry points. Because the simulator is a
+// single-threaded discrete-event engine with deterministic tie-breaking, a
+// failing seed replays byte-for-byte; FailureReport() prints the seed and the
+// schedule prefix needed to reproduce it.
+//
+// The controller also runs the InvariantChecker's instant checks every
+// `check_every_events` dispatched events and accumulates violations.
+
+#ifndef SRC_TESTING_CHAOS_H_
+#define SRC_TESTING_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/net/network.h"
+#include "src/runtime/cluster.h"
+#include "src/testing/invariants.h"
+
+namespace actop {
+
+struct ChaosConfig {
+  uint64_t seed = 1;
+
+  // Faults are injected only inside [faults_start, faults_end); invariant
+  // checking runs for as long as the controller is started.
+  SimTime faults_start = 0;
+  SimTime faults_end = Seconds(10);
+  SimDuration tick = Millis(50);
+
+  // Per-tick fault probabilities / counts.
+  double crash_prob = 0.0;            // crash + instant-replace a random server
+  double directory_churn_prob = 0.0;  // churn a random directory shard
+  int forced_migrations_per_tick = 0; // migrate random idle actors to random servers
+
+  // Per-message network faults. Delayed messages overtake undelayed ones on
+  // the same link, so delay_prob > 0 also exercises reordering.
+  double drop_prob = 0.0;
+  double delay_prob = 0.0;
+  SimDuration max_extra_delay = Millis(20);
+  // Whether client<->server links are also faulty (server<->server links
+  // always are). Off for scenarios with strict reply accounting.
+  bool fault_client_links = false;
+
+  // Run the instant invariant checks every N dispatched events (0 disables).
+  uint32_t check_every_events = 256;
+
+  // Guarded bug-injection demo: when set, the controller force-activates this
+  // actor on two servers at faults_start, deliberately breaking the
+  // single-activation invariant so tests can prove the checker catches it.
+  ActorId duplication_bug_actor = kNoActor;
+
+  size_t max_recorded_violations = 16;
+  size_t max_recorded_schedule = 512;
+};
+
+struct ChaosEvent {
+  SimTime at = 0;
+  std::string what;
+};
+
+class ChaosController {
+ public:
+  ChaosController(Simulation* sim, Cluster* cluster, ChaosConfig config);
+  ~ChaosController();
+
+  ChaosController(const ChaosController&) = delete;
+  ChaosController& operator=(const ChaosController&) = delete;
+
+  // Installs the network fault injector + simulation after-event hook and
+  // schedules the fault ticks. Call once, before running the simulation.
+  void Start();
+
+  // Uninstalls all hooks; no further faults or checks after this.
+  void Stop();
+
+  InvariantChecker& checker() { return checker_; }
+
+  // Invariant violations observed so far (capped at max_recorded_violations;
+  // `total_violations` keeps the true count).
+  const std::vector<std::string>& violations() const { return violations_; }
+  uint64_t total_violations() const { return total_violations_; }
+
+  // The recorded fault schedule (capped at max_recorded_schedule).
+  const std::vector<ChaosEvent>& schedule() const { return schedule_; }
+
+  uint64_t crashes() const { return crashes_; }
+  uint64_t shard_churns() const { return shard_churns_; }
+  uint64_t forced_migrations() const { return forced_migrations_; }
+  uint64_t dropped_messages() const { return dropped_messages_; }
+  uint64_t delayed_messages() const { return delayed_messages_; }
+
+  // Human-readable reproduction report: seed, violations, and the first
+  // `schedule_prefix` scheduled faults.
+  std::string FailureReport(size_t schedule_prefix = 12) const;
+
+ private:
+  void Tick();
+  void InjectDuplicationBug();
+  void Record(std::string what);
+  void RecordViolations(const std::vector<std::string>& found);
+  FaultDecision OnMessage(NodeId from, NodeId to, uint32_t bytes);
+
+  Simulation* sim_;
+  Cluster* cluster_;
+  ChaosConfig config_;
+  // Independent streams: tick-level fault draws must not shift when the
+  // per-message traffic pattern changes, and vice versa.
+  Rng tick_rng_;
+  Rng message_rng_;
+  InvariantChecker checker_;
+
+  bool started_ = false;
+  EventId tick_event_ = 0;
+  uint64_t events_seen_ = 0;
+
+  std::vector<std::string> violations_;
+  uint64_t total_violations_ = 0;
+  std::vector<ChaosEvent> schedule_;
+  uint64_t crashes_ = 0;
+  uint64_t shard_churns_ = 0;
+  uint64_t forced_migrations_ = 0;
+  uint64_t dropped_messages_ = 0;
+  uint64_t delayed_messages_ = 0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_TESTING_CHAOS_H_

@@ -1,0 +1,65 @@
+// Cluster-wide invariant checking for the chaos harness.
+//
+// Walks the whole simulated cluster — activations, directory shards,
+// location caches — and verifies the virtual-actor promises of §4.3:
+//
+//   (a) single activation: at most one live activation per actor id;
+//   (b) reply conservation is tracked at the client (see ChaosClient);
+//   (c) directory / cache coherence: cache entries are either correct or
+//       detectably stale. Detectability rests on two structural facts this
+//       checker verifies — every entry points into the live server set
+//       (bounded-hop forwarding then falls through to the directory), and
+//       the directory itself is authoritative (every entry lives in the
+//       actor's home shard; at quiescence every activation is registered at
+//       its host);
+//   (d) the partitioner's balance constraint ||V_p| − |V_q|| ≤ δ.
+//
+// Instant checks hold at every event boundary; quiescent checks additionally
+// require that no migration/unregister control messages are in flight (run
+// them after traffic and fault injection have drained).
+
+#ifndef SRC_TESTING_INVARIANTS_H_
+#define SRC_TESTING_INVARIANTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace actop {
+
+class Cluster;
+
+// Difference between the most- and least-loaded server's activation counts.
+int64_t ActivationSpread(Cluster& cluster);
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(Cluster* cluster);
+
+  // Invariants that must hold after every event: single activation per
+  // actor, directory entries homed on the right shard and pointing at live
+  // servers, cache entries pointing at live servers. Returns one description
+  // per violation (empty == all good).
+  std::vector<std::string> CheckInstant();
+
+  // Instant checks plus quiescence-only coherence: every live activation is
+  // registered at its host in the actor's home directory shard.
+  std::vector<std::string> CheckQuiescent();
+
+  // Balance constraint (d): activation spread must be within `delta` plus
+  // `slack` (transient drift from in-flight activations/deactivations and
+  // stale exchange views).
+  std::vector<std::string> CheckBalance(int64_t delta, int64_t slack = 0);
+
+  uint64_t checks_run() const { return checks_run_; }
+
+ private:
+  Cluster* cluster_;
+  uint64_t checks_run_ = 0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_TESTING_INVARIANTS_H_

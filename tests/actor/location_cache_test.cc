@@ -82,8 +82,12 @@ TEST(LocationCacheTest, ClearEmptiesAll) {
 
 TEST(DirectoryShardTest, FirstWriterWins) {
   DirectoryShard shard;
-  EXPECT_EQ(shard.LookupOrRegister(1, 3), 3);
-  EXPECT_EQ(shard.LookupOrRegister(1, 7), 3);  // already registered
+  const DirEntry first = shard.LookupOrRegister(1, 3);
+  EXPECT_EQ(first.owner, 3);
+  EXPECT_NE(first.token, 0u);
+  const DirEntry second = shard.LookupOrRegister(1, 7);  // already registered
+  EXPECT_EQ(second.owner, 3);
+  EXPECT_EQ(second.token, first.token);
   EXPECT_EQ(shard.Lookup(1), 3);
 }
 
@@ -95,9 +99,23 @@ TEST(DirectoryShardTest, LookupMissingReturnsNoServer) {
 TEST(DirectoryShardTest, UnregisterOnlyMatchingOwner) {
   DirectoryShard shard;
   shard.LookupOrRegister(1, 3);
-  shard.Unregister(1, 5);  // stale unregister: ignored
+  shard.Unregister(1, 5);  // stale unregister from the wrong owner: ignored
   EXPECT_EQ(shard.Lookup(1), 3);
-  shard.Unregister(1, 3);
+  shard.Unregister(1, 3);  // token 0 = wildcard
+  EXPECT_EQ(shard.Lookup(1), kNoServer);
+}
+
+TEST(DirectoryShardTest, StaleTokenCannotEvictNewerRegistration) {
+  DirectoryShard shard;
+  const DirEntry old_reg = shard.LookupOrRegister(1, 3);
+  shard.Unregister(1, 3, old_reg.token);  // deactivation
+  // Re-activation at the same server: fresh registration, fresh token.
+  const DirEntry new_reg = shard.LookupOrRegister(1, 3);
+  EXPECT_NE(new_reg.token, old_reg.token);
+  // A delayed duplicate of the old unregister must be a no-op.
+  shard.Unregister(1, 3, old_reg.token);
+  EXPECT_EQ(shard.Lookup(1), 3);
+  shard.Unregister(1, 3, new_reg.token);
   EXPECT_EQ(shard.Lookup(1), kNoServer);
 }
 

@@ -1,0 +1,364 @@
+// Deterministic chaos harness: seed-driven fault schedules + cluster-wide
+// invariant checks.
+//
+// Each seed fully determines one chaos run — traffic, fault schedule, and
+// event interleaving — so a failing seed replays byte-for-byte. Seeds are
+// split across four scenario shapes (seed % 4):
+//
+//   0  migration storm   forced migrations + directory churn, lossless
+//                        network; strict accounting (every reply arrives,
+//                        every call handled exactly once).
+//   1  full chaos        crashes, drops, delays (reordering), churn, forced
+//                        migrations; conservation accounting (every call
+//                        terminates exactly once, no duplicated/fabricated
+//                        replies).
+//   2  partition racing  partition agents on a fast exchange period racing
+//                        forced migrations and delayed control messages;
+//                        strict accounting through a relay -> echo call graph.
+//   3  partition balance delayed exchange messages (stale views); the
+//                        partitioner must respect the balance constraint
+//                        delta throughout.
+//
+// All scenarios run the instant invariants (single activation, directory /
+// cache structure) every few hundred events, and the quiescent coherence
+// check (every activation registered at its host) after the system drains.
+//
+// Run a long soak with: chaos_test --chaos_seeds=N (sweeps N extra seeds).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/runtime/cluster.h"
+#include "src/sim/simulation.h"
+#include "src/testing/chaos.h"
+#include "src/testing/chaos_client.h"
+#include "src/testing/invariants.h"
+#include "tests/runtime/test_actors.h"
+
+namespace actop {
+namespace {
+
+// Extra seeds requested on the command line (--chaos_seeds=N).
+int g_soak_seeds = 0;
+
+constexpr int kServers = 6;
+constexpr uint64_t kEchoActors = 96;
+constexpr uint64_t kRelayActors = 48;
+constexpr SimTime kFaultsStart = Seconds(1);
+constexpr SimTime kFaultsEnd = Seconds(7);
+constexpr SimTime kTrafficEnd = Seconds(8);
+// Long enough for client timeouts (6s), server call timeouts (3s), and
+// parked-call re-resolution to drain after the last fault.
+constexpr SimTime kDrainEnd = Seconds(30);
+
+struct ChaosRunResult {
+  uint64_t seed = 0;
+  int scenario = 0;
+  std::string report;
+  uint64_t instant_violations = 0;
+  std::vector<std::string> quiescent;
+  std::vector<std::string> balance;  // scenario 3 only
+  uint64_t issued = 0;
+  uint64_t succeeded = 0;
+  uint64_t timed_out = 0;
+  uint64_t duplicates = 0;
+  uint64_t unknown = 0;
+  bool settled = false;
+  uint64_t echo_calls = 0;
+  int relay_failed_subcalls = 0;
+  uint64_t faults_injected = 0;
+  uint64_t checks_run = 0;
+};
+
+uint64_t SumEchoCalls(Cluster& cluster) {
+  uint64_t total = 0;
+  for (uint64_t k = 1; k <= kEchoActors; k++) {
+    const ActorId id = MakeActorId(kEchoType, k);
+    if (cluster.HasActorState(id)) {
+      total += static_cast<uint64_t>(static_cast<EchoActor*>(cluster.GetOrCreateActor(id))->calls());
+    }
+  }
+  return total;
+}
+
+int SumRelayFailedSubcalls(Cluster& cluster) {
+  int total = 0;
+  for (uint64_t k = 1; k <= kRelayActors; k++) {
+    const ActorId id = MakeActorId(kRelayType, k);
+    if (cluster.HasActorState(id)) {
+      total += static_cast<RelayActor*>(cluster.GetOrCreateActor(id))->failed_subcalls();
+    }
+  }
+  return total;
+}
+
+// Builds and runs one full chaos scenario for `seed`. See the file comment
+// for the scenario shapes.
+ChaosRunResult RunChaosScenario(uint64_t seed) {
+  const int scenario = static_cast<int>(seed % 4);
+  const bool partitioning = scenario == 2 || scenario == 3;
+
+  Simulation sim;
+  ClusterConfig cfg{.num_servers = kServers, .seed = SplitMix64(seed)};
+  cfg.server.call_timeout = Seconds(3);
+  if (partitioning) {
+    cfg.enable_partitioning = true;
+    cfg.partition.exchange_period = Millis(500);
+    cfg.partition.exchange_min_gap = Millis(500);
+    cfg.partition.pairwise.candidate_set_size = 16;
+    cfg.partition.pairwise.balance_delta = 16;
+  }
+  Cluster cluster(&sim, cfg);
+  RegisterTestActors(&cluster);
+
+  ChaosConfig chaos_cfg;
+  chaos_cfg.seed = seed;
+  chaos_cfg.faults_start = kFaultsStart;
+  chaos_cfg.faults_end = kFaultsEnd;
+  chaos_cfg.check_every_events = 512;
+  switch (scenario) {
+    case 0:  // migration storm
+      chaos_cfg.forced_migrations_per_tick = 3;
+      chaos_cfg.directory_churn_prob = 0.2;
+      break;
+    case 1:  // full chaos
+      chaos_cfg.crash_prob = 0.03;
+      chaos_cfg.drop_prob = 0.02;
+      chaos_cfg.delay_prob = 0.10;
+      chaos_cfg.directory_churn_prob = 0.1;
+      chaos_cfg.forced_migrations_per_tick = 2;
+      chaos_cfg.fault_client_links = true;
+      break;
+    case 2:  // partition racing
+      chaos_cfg.forced_migrations_per_tick = 2;
+      chaos_cfg.delay_prob = 0.15;
+      break;
+    case 3:  // partition balance
+      chaos_cfg.delay_prob = 0.15;
+      break;
+  }
+  ChaosController chaos(&sim, &cluster, chaos_cfg);
+
+  ChaosClientConfig client_cfg;
+  client_cfg.seed = SplitMix64(seed ^ 0xc11e47ULL);
+  ChaosClient client(&sim, &cluster, client_cfg);
+
+  // Traffic: one call every 2 ms until kTrafficEnd. Scenarios without
+  // partitioning call echo actors directly; partitioned scenarios call
+  // relays that fan one sub-call out to a correlated echo actor (the
+  // actor-to-actor edges the partitioner optimizes).
+  Rng traffic_rng(SplitMix64(seed ^ 0x7247ULL));
+  sim.SchedulePeriodic(Millis(2), [&] {
+    if (sim.now() > kTrafficEnd) {
+      return;
+    }
+    if (partitioning) {
+      const uint64_t r = traffic_rng.NextBounded(kRelayActors) + 1;
+      // Each relay talks to a fixed pair of echo actors: repeated edges give
+      // the Space-Saving sampler something to find.
+      const uint64_t e = r * 2 - traffic_rng.NextBounded(2);
+      client.Call(MakeActorId(kRelayType, r), 0, MakeActorId(kEchoType, e));
+    } else {
+      client.Call(MakeActorId(kEchoType, traffic_rng.NextBounded(kEchoActors) + 1), 1);
+    }
+  });
+
+  ChaosRunResult result;
+  result.seed = seed;
+  result.scenario = scenario;
+
+  // Scenario 3: sample the balance invariant during the run. The window is
+  // anchored at the spread the run starts from — the partitioner may not
+  // get every server inside [target - delta/2, target + delta/2], but it
+  // must never push the cluster further out. Slack covers mid-migration
+  // activations (deactivated at the source, not yet re-activated).
+  int64_t initial_spread = 0;
+  if (scenario == 3) {
+    sim.ScheduleAt(kFaultsStart, [&] { initial_spread = ActivationSpread(cluster); });
+    sim.SchedulePeriodic(Millis(100), [&] {
+      if (sim.now() > kTrafficEnd) {
+        return;
+      }
+      const int64_t delta = cfg.partition.pairwise.balance_delta;
+      const int64_t slack = std::max<int64_t>(initial_spread, 2 * delta);
+      for (std::string& v : chaos.checker().CheckBalance(delta, slack)) {
+        result.balance.push_back(std::move(v));
+      }
+    });
+  }
+
+  chaos.Start();
+  cluster.StartOptimizers();
+  sim.RunUntil(kTrafficEnd);
+  // Quiescent checks need migrations to stop: halt the exchange protocol
+  // before draining.
+  for (int s = 0; s < kServers; s++) {
+    if (cluster.partition_agent(s) != nullptr) {
+      cluster.partition_agent(s)->Stop();
+    }
+  }
+  sim.RunUntil(kDrainEnd);
+
+  result.instant_violations = chaos.total_violations();
+  result.checks_run = chaos.checker().checks_run();
+  result.quiescent = chaos.checker().CheckQuiescent();
+  result.report = chaos.FailureReport();
+  result.faults_injected = chaos.crashes() + chaos.shard_churns() + chaos.forced_migrations() +
+                           chaos.dropped_messages() + chaos.delayed_messages();
+  chaos.Stop();
+
+  result.issued = client.issued();
+  result.succeeded = client.succeeded();
+  result.timed_out = client.timed_out();
+  result.duplicates = client.duplicate_responses();
+  result.unknown = client.unknown_responses();
+  result.settled = client.Settled();
+  result.echo_calls = SumEchoCalls(cluster);
+  result.relay_failed_subcalls = SumRelayFailedSubcalls(cluster);
+  return result;
+}
+
+// Asserts the invariants appropriate for the result's scenario. On any
+// failure the gtest message carries the full reproduction report.
+void ExpectInvariantsHold(const ChaosRunResult& r) {
+  SCOPED_TRACE(r.report);
+  EXPECT_GT(r.issued, 1000u);
+  EXPECT_GT(r.faults_injected, 0u) << "scenario injected no faults";
+  EXPECT_GT(r.checks_run, 50u);
+
+  // Invariants (a) + (c) structural, every few hundred events.
+  EXPECT_EQ(r.instant_violations, 0u);
+  // Invariant (c) at quiescence: every activation registered at its host.
+  EXPECT_TRUE(r.quiescent.empty()) << r.quiescent.front();
+
+  // Invariant (b): every call reached exactly one terminal outcome, and no
+  // reply was duplicated or fabricated.
+  EXPECT_TRUE(r.settled);
+  EXPECT_EQ(r.issued, r.succeeded + r.timed_out);
+  EXPECT_EQ(r.duplicates, 0u);
+  EXPECT_EQ(r.unknown, 0u);
+
+  switch (r.scenario) {
+    case 0:  // lossless network: nothing may time out, every call handled once
+      EXPECT_EQ(r.succeeded, r.issued);
+      EXPECT_EQ(r.echo_calls, r.issued);
+      break;
+    case 1:  // lossy: timeouts allowed, conservation already checked above
+      break;
+    case 2:  // lossless + relays: one echo sub-call per client call
+      EXPECT_EQ(r.succeeded, r.issued);
+      EXPECT_EQ(r.echo_calls, r.issued);
+      EXPECT_EQ(r.relay_failed_subcalls, 0);
+      break;
+    case 3:  // invariant (d)
+      EXPECT_TRUE(r.balance.empty()) << r.balance.front();
+      break;
+  }
+}
+
+class ChaosSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSeedTest, InvariantsHoldUnderFaults) {
+  ExpectInvariantsHold(RunChaosScenario(GetParam()));
+}
+
+// ~100 seeds, 25 per scenario shape, inside the tier-1 budget (ctest runs
+// each seed as its own test, so the sweep parallelizes).
+INSTANTIATE_TEST_SUITE_P(Sweep, ChaosSeedTest, ::testing::Range<uint64_t>(1, 101));
+
+// A failing seed must reproduce byte-for-byte: same seed, same counters,
+// same fault schedule, same report text.
+TEST(ChaosDeterminismTest, SameSeedSameRun) {
+  for (uint64_t seed : {5ull, 42ull}) {
+    const ChaosRunResult a = RunChaosScenario(seed);
+    const ChaosRunResult b = RunChaosScenario(seed);
+    EXPECT_EQ(a.report, b.report) << "seed " << seed;
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.succeeded, b.succeeded);
+    EXPECT_EQ(a.timed_out, b.timed_out);
+    EXPECT_EQ(a.echo_calls, b.echo_calls);
+  }
+}
+
+// Guarded bug-injection demo: force a duplicate activation mid-run and prove
+// the harness (1) catches it and (2) prints the seed needed to replay it.
+TEST(ChaosBugDemoTest, InjectedDuplicateActivationIsCaught) {
+  constexpr uint64_t kSeed = 77;
+  Simulation sim;
+  ClusterConfig cfg{.num_servers = kServers, .seed = SplitMix64(kSeed)};
+  Cluster cluster(&sim, cfg);
+  RegisterTestActors(&cluster);
+
+  ChaosConfig chaos_cfg;
+  chaos_cfg.seed = kSeed;
+  chaos_cfg.faults_start = Millis(500);
+  chaos_cfg.faults_end = Seconds(2);
+  chaos_cfg.check_every_events = 64;
+  chaos_cfg.duplication_bug_actor = MakeActorId(kEchoType, 7);
+  ChaosController chaos(&sim, &cluster, chaos_cfg);
+
+  ChaosClient client(&sim, &cluster, ChaosClientConfig{.seed = 3});
+  Rng rng(9);
+  sim.SchedulePeriodic(Millis(5), [&] {
+    if (sim.now() > Seconds(2)) {
+      return;
+    }
+    client.Call(MakeActorId(kEchoType, rng.NextBounded(kEchoActors) + 1), 1);
+  });
+
+  chaos.Start();
+  sim.RunUntil(Seconds(3));
+
+  EXPECT_GT(chaos.total_violations(), 0u);
+  ASSERT_FALSE(chaos.violations().empty());
+  EXPECT_NE(chaos.violations().front().find("duplicate activation"), std::string::npos)
+      << chaos.violations().front();
+  // The report names the seed and the injected fault so the run can be
+  // replayed exactly.
+  const std::string report = chaos.FailureReport();
+  EXPECT_NE(report.find("seed 77"), std::string::npos) << report;
+  EXPECT_NE(report.find("BUG DEMO"), std::string::npos) << report;
+  std::fprintf(stderr, "%s", report.c_str());
+  chaos.Stop();
+}
+
+// Soak entry point: chaos_test --chaos_seeds=N sweeps N extra seeds beyond
+// the checked-in range. N=0 (the default) makes this a no-op.
+TEST(ChaosSoakTest, ExtraSeeds) {
+  if (g_soak_seeds <= 0) {
+    GTEST_SKIP() << "pass --chaos_seeds=N for a soak run";
+  }
+  for (int i = 0; i < g_soak_seeds; i++) {
+    const uint64_t seed = 1000 + static_cast<uint64_t>(i);
+    SCOPED_TRACE("soak seed " + std::to_string(seed));
+    ExpectInvariantsHold(RunChaosScenario(seed));
+    if ((i + 1) % 25 == 0) {
+      std::fprintf(stderr, "soak: %d/%d seeds clean\n", i + 1, g_soak_seeds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace actop
+
+int main(int argc, char** argv) {
+  // Strip our flag before gtest parses the rest.
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--chaos_seeds=", 14) == 0) {
+      actop::g_soak_seeds = std::atoi(argv[i] + 14);
+      for (int j = i; j + 1 < argc; j++) {
+        argv[j] = argv[j + 1];
+      }
+      argc--;
+      i--;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -144,6 +144,50 @@ TEST(SpaceSavingTest, PairKeyUsage) {
   EXPECT_EQ(ss.EstimateCount({2, 1}), 4u);
 }
 
+// Property sweep over random streams: for a summary of capacity k after N
+// total observations, every tracked key's estimate over-approximates its true
+// count by at most N/k, never under-approximates it, and every *untracked*
+// key's true count is at most N/k (so no heavy hitter is ever missing).
+class SpaceSavingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpaceSavingPropertyTest, OverApproximationWithinTotalOverCapacity) {
+  Rng rng(GetParam());
+  const size_t capacity = 2 + rng.NextBounded(30);
+  const int key_space = 8 + static_cast<int>(rng.NextBounded(200));
+  const int stream_len = 500 + static_cast<int>(rng.NextBounded(4000));
+  const bool weighted = rng.NextBool(0.5);
+
+  SpaceSaving<int> ss(capacity);
+  std::map<int, uint64_t> truth;
+  for (int i = 0; i < stream_len; i++) {
+    // Mildly skewed: squaring biases draws toward small keys, so streams mix
+    // heavy hitters with a long light tail.
+    const auto raw = rng.NextBounded(static_cast<uint64_t>(key_space));
+    const int key = static_cast<int>(raw * raw / static_cast<uint64_t>(key_space));
+    const uint64_t inc = weighted ? 1 + rng.NextBounded(8) : 1;
+    truth[key] += inc;
+    ss.Observe(key, inc);
+  }
+
+  const uint64_t n = ss.total_observed();
+  const uint64_t bound = n / ss.capacity();
+  for (const auto& e : ss.Entries()) {
+    const uint64_t true_count = truth[e.key];
+    EXPECT_GE(e.count, true_count) << "under-approximated key " << e.key;
+    EXPECT_LE(e.count - true_count, bound)
+        << "key " << e.key << " over-approximated by more than N/k = " << bound;
+    EXPECT_LE(e.error, bound);
+  }
+  for (const auto& [key, true_count] : truth) {
+    if (!ss.Contains(key)) {
+      EXPECT_LE(true_count, bound) << "missing heavy hitter " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStreams, SpaceSavingPropertyTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
 // Property: top-1 identification under skewed (Zipf-like) streams.
 class SpaceSavingSkewTest : public ::testing::TestWithParam<size_t> {};
 

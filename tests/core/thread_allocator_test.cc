@@ -178,5 +178,80 @@ TEST_P(ClosedFormOptimalityTest, GradientCannotBeatClosedForm) {
 INSTANTIATE_TEST_SUITE_P(RandomProblems, ClosedFormOptimalityTest,
                          ::testing::Range<uint64_t>(1, 25));
 
+// Theorem 2, per-coordinate: when η ≥ ζ the numeric convex solve must land on
+// the closed-form allocation itself (the program is strictly convex, so the
+// optimum is unique), not merely tie its objective.
+class ClosedFormAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClosedFormAgreementTest, GradientConvergesToClosedFormPerStage) {
+  Rng rng(GetParam());
+  AllocationProblem p;
+  p.processors = static_cast<int>(rng.NextInt(4, 32));
+  const int stages = static_cast<int>(rng.NextInt(2, 6));
+  for (int i = 0; i < stages; i++) {
+    StageParams st;
+    st.lambda = rng.NextDouble(100.0, 20000.0);
+    st.s = rng.NextDouble(500.0, 40000.0);
+    st.beta = rng.NextDouble(0.2, 1.0);
+    p.stages.push_back(st);
+  }
+  if (!IsFeasible(p)) {
+    GTEST_SKIP() << "random instance infeasible";
+  }
+  p.eta = std::max(Zeta(p) * rng.NextDouble(1.5, 8.0), 1e-9);
+  const auto closed = ClosedFormAllocation(p);
+  const auto grad = GradientAllocation(p, 20000);
+  ASSERT_EQ(grad.size(), closed.size());
+  for (size_t i = 0; i < closed.size(); i++) {
+    EXPECT_NEAR(grad[i], closed[i], std::max(closed[i] * 0.02, 1e-3))
+        << "stage " << i << " diverges from the Theorem 2 closed form";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, ClosedFormAgreementTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+// Theorem 2's validity boundary: when η < ζ the closed form over-subscribes
+// the CPUs, so the solver must fall back to the numeric path — whose result
+// is capacity-feasible and stable on every stage.
+class ConstrainedFallbackTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConstrainedFallbackTest, NumericPathFeasibleWhenEtaBelowZeta) {
+  Rng rng(GetParam());
+  AllocationProblem p;
+  p.processors = static_cast<int>(rng.NextInt(4, 16));
+  const int stages = static_cast<int>(rng.NextInt(2, 6));
+  for (int i = 0; i < stages; i++) {
+    StageParams st;
+    st.lambda = rng.NextDouble(100.0, 20000.0);
+    st.s = rng.NextDouble(500.0, 40000.0);
+    st.beta = rng.NextDouble(0.2, 1.0);
+    p.stages.push_back(st);
+  }
+  if (!IsFeasible(p)) {
+    GTEST_SKIP() << "random instance infeasible";
+  }
+  p.eta = Zeta(p) * rng.NextDouble(0.05, 0.8);
+
+  // The closed form is exactly what Theorem 2 warns about here: it busts the
+  // CPU budget, which is why the numeric path must take over.
+  EXPECT_GT(CpuUsage(p, ClosedFormAllocation(p)), static_cast<double>(p.processors));
+
+  const auto t = GradientAllocation(p, 20000);
+  EXPECT_LE(CpuUsage(p, t), static_cast<double>(p.processors) + 1e-6);
+  for (size_t i = 0; i < t.size(); i++) {
+    EXPECT_GT(p.stages[i].s * t[i], p.stages[i].lambda) << "stage " << i << " unstable";
+  }
+
+  // IntegerAllocation routes through the same fallback; its rounded result
+  // must stay within capacity too.
+  const auto alloc = IntegerAllocation(p);
+  std::vector<double> as_double(alloc.begin(), alloc.end());
+  EXPECT_LE(CpuUsage(p, as_double), static_cast<double>(p.processors) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomProblems, ConstrainedFallbackTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
 }  // namespace
 }  // namespace actop

@@ -17,16 +17,6 @@
 namespace actop {
 namespace {
 
-int CountHosts(Cluster& cluster, ActorId actor) {
-  int hosts = 0;
-  for (int s = 0; s < cluster.num_servers(); s++) {
-    if (cluster.server(s).IsActive(actor)) {
-      hosts++;
-    }
-  }
-  return hosts;
-}
-
 TEST(FailureTest, CrashOfDirectoryHomeStillAllowsActivation) {
   Simulation sim;
   Cluster cluster(&sim, ClusterConfig{.num_servers = 4, .seed = 3});

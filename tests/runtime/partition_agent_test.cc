@@ -64,14 +64,11 @@ TEST(PartitionAgentTest, HeavyPairsGetColocated) {
 
   // 40 relay->echo pairs, each pair chatting continuously.
   const int kPairs = 40;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&cluster, &client, &sim, tick] {
+  sim.SchedulePeriodic(Millis(50), [&client] {
     for (uint64_t k = 1; k <= kPairs; k++) {
       client.Call(MakeActorId(kRelayType, k), 0, MakeActorId(kEchoType, k), 100, nullptr);
     }
-    sim.ScheduleAfter(Millis(50), *tick);
-  };
-  sim.ScheduleAfter(Millis(1), *tick);
+  });
   sim.RunUntil(Seconds(40));
 
   // After several exchange rounds, most pairs should share a server.
@@ -102,14 +99,11 @@ TEST(PartitionAgentTest, BalanceMaintainedDuringOptimization) {
   DirectClient client(&sim, &cluster, 5);
 
   const int kPairs = 60;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&client, &sim, tick] {
+  sim.SchedulePeriodic(Millis(50), [&client] {
     for (uint64_t k = 1; k <= kPairs; k++) {
       client.Call(MakeActorId(kRelayType, k), 0, MakeActorId(kEchoType, k), 100, nullptr);
     }
-    sim.ScheduleAfter(Millis(50), *tick);
-  };
-  sim.ScheduleAfter(Millis(1), *tick);
+  });
   sim.RunUntil(Seconds(30));
 
   int64_t min_size = INT64_MAX;
@@ -134,14 +128,11 @@ TEST(PartitionAgentTest, RateLimitingRejectsBackToBackExchanges) {
   cluster.StartOptimizers();
   DirectClient client(&sim, &cluster, 5);
 
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&client, &sim, tick] {
+  sim.SchedulePeriodic(Millis(50), [&client] {
     for (uint64_t k = 1; k <= 200; k++) {
       client.Call(MakeActorId(kRelayType, k), 0, MakeActorId(kEchoType, k), 100, nullptr);
     }
-    sim.ScheduleAfter(Millis(50), *tick);
-  };
-  sim.ScheduleAfter(Millis(1), *tick);
+  });
   sim.RunUntil(Seconds(30));
 
   uint64_t rejected = 0;

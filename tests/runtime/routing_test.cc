@@ -13,15 +13,6 @@
 namespace actop {
 namespace {
 
-ServerId HostOf(Cluster& cluster, ActorId actor) {
-  for (int s = 0; s < cluster.num_servers(); s++) {
-    if (cluster.server(s).IsActive(actor)) {
-      return static_cast<ServerId>(s);
-    }
-  }
-  return kNoServer;
-}
-
 TEST(RoutingTest, StaleCacheChainStillDelivers) {
   // Prime stale caches on several servers, then call: the message must reach
   // the real host within the hop limit (falling back to the directory).

@@ -205,16 +205,6 @@ TEST(RuntimeTest, SecondCallUsesLocationCache) {
   }
 }
 
-// Finds the server hosting `actor`, or kNoServer.
-ServerId HostOf(Cluster& cluster, ActorId actor) {
-  for (int s = 0; s < cluster.num_servers(); s++) {
-    if (cluster.server(s).IsActive(actor)) {
-      return static_cast<ServerId>(s);
-    }
-  }
-  return kNoServer;
-}
-
 TEST(RuntimeTest, MigrationMovesActivationViaCacheHint) {
   Simulation sim;
   Cluster cluster(&sim, SmallCluster());

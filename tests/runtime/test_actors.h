@@ -49,6 +49,28 @@ class RelayActor : public Actor {
   int failed_subcalls_ = 0;
 };
 
+// Finds the server hosting `actor`, or kNoServer.
+inline ServerId HostOf(Cluster& cluster, ActorId actor) {
+  for (int s = 0; s < cluster.num_servers(); s++) {
+    if (cluster.server(s).IsActive(actor)) {
+      return static_cast<ServerId>(s);
+    }
+  }
+  return kNoServer;
+}
+
+// Counts live activations of `actor` across the cluster (0 or 1 when the
+// single-activation invariant holds).
+inline int CountHosts(Cluster& cluster, ActorId actor) {
+  int hosts = 0;
+  for (int s = 0; s < cluster.num_servers(); s++) {
+    if (cluster.server(s).IsActive(actor)) {
+      hosts++;
+    }
+  }
+  return hosts;
+}
+
 inline void RegisterTestActors(Cluster* cluster) {
   CostModel costs;
   costs.handler_compute = Micros(20);
