@@ -1,0 +1,475 @@
+// Event-engine & messaging hot-path microbenchmark (the perf-gate workload).
+//
+// Measures the discrete-event engine itself — the substrate every figure
+// bench, partitioning sweep and chaos soak in this repository runs on — in
+// four steady-state scenarios plus the network messaging path:
+//
+//   steady_stream   H interleaved self-rescheduling event chains with a
+//                   typical 3-word lambda capture (the common case across
+//                   the runtime: [this, shared_ptr, small int]).
+//   cancel_heavy    a standing window of pending events with a
+//                   cancel+reschedule churn loop, the CpuModel::Reschedule
+//                   pattern (cancel the pending completion, schedule a new
+//                   one) that dominates SEDA-heavy runs.
+//   periodic_heavy  hundreds of concurrent periodic ticks (timeout sweeps,
+//                   controller rounds, decay timers) plus teardown.
+//   net_ping_pong   envelopes hopping around a Network ring: per-message
+//                   envelope allocation + delivery-event scheduling, i.e.
+//                   the messaging hot path of the server runtime.
+//
+// Each scenario reports events/sec, ns/event and — via the global
+// counting-allocator hook below — heap allocations per event in steady
+// state. Output is line-oriented JSON (one scenario object per line) so
+// scripts/perf_gate.sh can compare runs with basic text tools; see
+// EXPERIMENTS.md ("Engine microbenchmark & perf gate") for the schema.
+//
+// Usage:
+//   bench_engine [--json=FILE] [--compare=FILE] [--gate] [--threshold=0.10]
+//                [--scale=1.0]
+//
+// --compare adds per-scenario "speedup_vs_ref" against a reference JSON
+// (e.g. the checked-in baseline); with --gate the exit code is non-zero if
+// any scenario's throughput regresses by more than --threshold.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/net/network.h"
+#include "src/runtime/envelope_pool.h"
+#include "src/runtime/message.h"
+#include "src/sim/simulation.h"
+
+// ---------------------------------------------------------------------------
+// Counting-allocator hook: every global new/delete in this binary is counted.
+// Scenarios reset the counters after setup/warmup so the reported figures are
+// steady-state allocations, not one-time arena growth.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace actop {
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  uint64_t events = 0;    // operations driven through the engine
+  uint64_t wall_ns = 0;   // wall-clock for the measured phase
+  uint64_t allocs = 0;    // heap allocations during the measured phase
+  uint64_t bytes = 0;     // heap bytes during the measured phase
+
+  double events_per_sec() const {
+    return wall_ns == 0 ? 0.0 : static_cast<double>(events) * 1e9 / static_cast<double>(wall_ns);
+  }
+  double ns_per_event() const {
+    return events == 0 ? 0.0 : static_cast<double>(wall_ns) / static_cast<double>(events);
+  }
+  double allocs_per_event() const {
+    return events == 0 ? 0.0 : static_cast<double>(allocs) / static_cast<double>(events);
+  }
+  double bytes_per_event() const {
+    return events == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(events);
+  }
+};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void ResetAllocCounters() {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_bytes.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// steady_stream: H interleaved self-rescheduling chains. The callback capture
+// is three machine words — the typical size across the runtime (e.g.
+// [this, shared_ptr<Envelope>] or [this, actor, token]).
+// ---------------------------------------------------------------------------
+
+struct ChainCtx {
+  Simulation* sim = nullptr;
+  uint64_t executed = 0;
+  uint64_t target = 0;
+  uint64_t lcg = 0x243f6a8885a308d3ULL;  // cheap per-event jitter source
+  uint64_t sink = 0;                     // defeats dead-code elimination
+};
+
+void ChainTick(ChainCtx* c, uint64_t salt_a, uint64_t salt_b);
+
+void ScheduleChainTick(ChainCtx* c, uint64_t salt_a, uint64_t salt_b) {
+  c->lcg = c->lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+  const SimDuration delay = static_cast<SimDuration>((c->lcg >> 33) & 0x3FF) + 1;
+  c->sim->ScheduleAfter(delay, [c, salt_a, salt_b] { ChainTick(c, salt_a, salt_b); });
+}
+
+void ChainTick(ChainCtx* c, uint64_t salt_a, uint64_t salt_b) {
+  c->sink ^= salt_a + (salt_b << 1);
+  if (++c->executed < c->target) {
+    ScheduleChainTick(c, salt_a ^ c->executed, salt_b + 1);
+  }
+}
+
+ScenarioResult RunSteadyStream(double scale) {
+  const int kChains = 512;
+  const auto target = static_cast<uint64_t>(3'000'000 * scale);
+  ScenarioResult out;
+  out.name = "steady_stream";
+
+  Simulation sim;
+  ChainCtx ctx;
+  ctx.sim = &sim;
+  ctx.target = target;
+  for (int i = 0; i < kChains; i++) {
+    ScheduleChainTick(&ctx, 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1),
+                      static_cast<uint64_t>(i));
+  }
+  // Warm up: reach steady state (heap at its standing size, slabs grown).
+  const uint64_t warm = target / 10;
+  while (ctx.executed < warm && sim.RunOne()) {
+  }
+
+  ResetAllocCounters();
+  const uint64_t t0 = NowNs();
+  const uint64_t before = ctx.executed;
+  while (sim.RunOne()) {
+  }
+  out.wall_ns = NowNs() - t0;
+  out.events = ctx.executed - before;
+  out.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  out.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  if (ctx.sink == 0xdeadbeef) {
+    std::fprintf(stderr, "sink\n");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// cancel_heavy: a standing window of K pending events; each step cancels the
+// oldest, schedules a replacement, and periodically dispatches one event to
+// advance the clock — the CpuModel cancel+reschedule pattern.
+// ---------------------------------------------------------------------------
+
+ScenarioResult RunCancelHeavy(double scale) {
+  const size_t kWindow = 4096;
+  const auto steps = static_cast<uint64_t>(1'500'000 * scale);
+  ScenarioResult out;
+  out.name = "cancel_heavy";
+
+  Simulation sim;
+  uint64_t fired = 0;
+  uint64_t lcg = 0x853c49e6748fea9bULL;
+  std::vector<EventId> window(kWindow, 0);
+  auto schedule_one = [&](size_t slot) {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    const SimDuration delay = Micros(10) + static_cast<SimDuration>((lcg >> 33) & 0xFFFF);
+    window[slot] = sim.ScheduleAfter(delay, [&fired] { fired++; });
+  };
+  for (size_t i = 0; i < kWindow; i++) {
+    schedule_one(i);
+  }
+  // Warm up one full window pass.
+  for (size_t i = 0; i < kWindow; i++) {
+    sim.Cancel(window[i]);
+    schedule_one(i);
+  }
+
+  ResetAllocCounters();
+  const uint64_t t0 = NowNs();
+  uint64_t ops = 0;
+  for (uint64_t step = 0; step < steps; step++) {
+    const size_t slot = static_cast<size_t>(step) % kWindow;
+    sim.Cancel(window[slot]);
+    schedule_one(slot);
+    ops += 2;
+    if ((step & 7) == 0) {
+      sim.RunOne();
+      ops++;
+    }
+  }
+  out.wall_ns = NowNs() - t0;
+  out.events = ops;
+  out.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  out.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// periodic_heavy: P concurrent periodic ticks with staggered periods, plus
+// cancellation of all of them at the end (controller stop / agent teardown).
+// ---------------------------------------------------------------------------
+
+ScenarioResult RunPeriodicHeavy(double scale) {
+  const int kPeriodics = 512;
+  ScenarioResult out;
+  out.name = "periodic_heavy";
+
+  Simulation sim;
+  uint64_t ticks = 0;
+  std::vector<EventId> ids;
+  ids.reserve(kPeriodics);
+  for (int i = 0; i < kPeriodics; i++) {
+    const SimDuration period = Micros(100 + 7 * i);
+    ids.push_back(sim.SchedulePeriodic(period, [&ticks] { ticks++; }));
+  }
+  // Warm up.
+  sim.RunUntil(Millis(20));
+
+  ResetAllocCounters();
+  const uint64_t t0 = NowNs();
+  const uint64_t before = ticks;
+  sim.RunUntil(Millis(20) + static_cast<SimDuration>(MillisF(400.0 * scale)));
+  for (EventId id : ids) {
+    sim.CancelPeriodic(id);
+  }
+  sim.RunUntil(sim.now() + Seconds(1));  // drain any final ticks
+  out.wall_ns = NowNs() - t0;
+  out.events = ticks - before;
+  out.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  out.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// net_ping_pong: envelopes hopping around a Network ring. Each delivery
+// allocates a response envelope and forwards it — the per-message cost of
+// the runtime's messaging path (envelope + delivery event).
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<Envelope> MakeBenchEnvelope() { return MakeEnvelope(); }
+
+struct RingCtx {
+  Simulation* sim = nullptr;
+  Network* net = nullptr;
+  std::vector<NodeId> nodes;
+  uint64_t delivered = 0;
+  uint64_t budget = 0;
+};
+
+ScenarioResult RunNetPingPong(double scale) {
+  const int kNodes = 8;
+  const int kInFlight = 64;
+  ScenarioResult out;
+  out.name = "net_ping_pong";
+
+  Simulation sim;
+  Network net(&sim, NetworkConfig{});
+  RingCtx ctx;
+  ctx.sim = &sim;
+  ctx.net = &net;
+  ctx.budget = static_cast<uint64_t>(800'000 * scale);
+
+  for (int i = 0; i < kNodes; i++) {
+    const int self = i;
+    ctx.nodes.push_back(net.AddNode([&ctx, self](NodeId, uint32_t bytes, std::shared_ptr<void>) {
+      ctx.delivered++;
+      if (ctx.delivered >= ctx.budget) {
+        return;
+      }
+      auto next = MakeBenchEnvelope();
+      next->kind = MessageKind::kCall;
+      next->target = MakeActorId(1, ctx.delivered);
+      next->payload_bytes = bytes;
+      next->created_at = ctx.sim->now();
+      const NodeId dest = ctx.nodes[static_cast<size_t>((self + 1) % kNodes)];
+      ctx.net->Send(ctx.nodes[static_cast<size_t>(self)], dest, bytes, std::move(next));
+    }));
+  }
+  for (int m = 0; m < kInFlight; m++) {
+    auto env = MakeBenchEnvelope();
+    env->kind = MessageKind::kCall;
+    env->payload_bytes = 128;
+    net.Send(ctx.nodes[0], ctx.nodes[static_cast<size_t>(m % kNodes)], 128, std::move(env));
+  }
+  // Warm up.
+  const uint64_t warm = ctx.budget / 10;
+  while (ctx.delivered < warm && sim.RunOne()) {
+  }
+
+  ResetAllocCounters();
+  const uint64_t t0 = NowNs();
+  const uint64_t before = ctx.delivered;
+  while (sim.RunOne()) {
+  }
+  out.wall_ns = NowNs() - t0;
+  out.events = ctx.delivered - before;
+  out.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  out.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Output & comparison
+// ---------------------------------------------------------------------------
+
+std::string ScenarioJson(const ScenarioResult& r, double speedup, bool have_ref) {
+  std::ostringstream os;
+  os << "    {\"name\": \"" << r.name << "\", \"events\": " << r.events
+     << ", \"wall_ns\": " << r.wall_ns;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", r.events_per_sec());
+  os << ", \"events_per_sec\": " << buf;
+  std::snprintf(buf, sizeof(buf), "%.2f", r.ns_per_event());
+  os << ", \"ns_per_event\": " << buf;
+  std::snprintf(buf, sizeof(buf), "%.4f", r.allocs_per_event());
+  os << ", \"allocs_per_event\": " << buf;
+  std::snprintf(buf, sizeof(buf), "%.1f", r.bytes_per_event());
+  os << ", \"bytes_per_event\": " << buf;
+  if (have_ref) {
+    std::snprintf(buf, sizeof(buf), "%.3f", speedup);
+    os << ", \"speedup_vs_ref\": " << buf;
+  }
+  os << "}";
+  return os.str();
+}
+
+// Pulls `"key": <number>` out of a one-scenario-per-line JSON file for the
+// line whose "name" matches. Line-oriented by construction (see file
+// comment), so plain string search is reliable.
+bool LookupRef(const std::string& ref_text, const std::string& name, const std::string& key,
+               double* value) {
+  std::istringstream in(ref_text);
+  std::string line;
+  const std::string name_tag = "\"name\": \"" + name + "\"";
+  const std::string key_tag = "\"" + key + "\": ";
+  while (std::getline(in, line)) {
+    const size_t at = line.find(name_tag);
+    if (at == std::string::npos) {
+      continue;
+    }
+    const size_t kat = line.find(key_tag);
+    if (kat == std::string::npos) {
+      return false;
+    }
+    *value = std::strtod(line.c_str() + kat + key_tag.size(), nullptr);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace actop
+
+int main(int argc, char** argv) {
+  using namespace actop;
+
+  std::string json_path;
+  std::string compare_path;
+  bool gate = false;
+  double threshold = 0.10;
+  double scale = 1.0;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--compare=", 0) == 0) {
+      compare_path = arg.substr(10);
+    } else if (arg == "--gate") {
+      gate = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::strtod(arg.c_str() + 8, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_engine [--json=FILE] [--compare=FILE] [--gate] "
+                   "[--threshold=0.10] [--scale=1.0]\n");
+      return 2;
+    }
+  }
+
+  std::string ref_text;
+  if (!compare_path.empty()) {
+    std::ifstream in(compare_path);
+    if (!in) {
+      std::fprintf(stderr, "bench_engine: cannot read reference %s\n", compare_path.c_str());
+      return 2;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    ref_text = os.str();
+  }
+
+  std::vector<ScenarioResult> results;
+  results.push_back(RunSteadyStream(scale));
+  results.push_back(RunCancelHeavy(scale));
+  results.push_back(RunPeriodicHeavy(scale));
+  results.push_back(RunNetPingPong(scale));
+
+  int regressions = 0;
+  std::ostringstream body;
+  body << "{\n  \"bench\": \"engine\",\n  \"schema_version\": 1,\n";
+#ifdef NDEBUG
+  body << "  \"assertions\": false,\n";
+#else
+  body << "  \"assertions\": true,\n";
+#endif
+  body << "  \"scale\": " << scale << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < results.size(); i++) {
+    const ScenarioResult& r = results[i];
+    double ref_eps = 0.0;
+    const bool have_ref =
+        !ref_text.empty() && LookupRef(ref_text, r.name, "events_per_sec", &ref_eps) &&
+        ref_eps > 0.0;
+    const double speedup = have_ref ? r.events_per_sec() / ref_eps : 0.0;
+    if (have_ref && speedup < 1.0 - threshold) {
+      regressions++;
+      std::fprintf(stderr, "PERF REGRESSION: %s %.0f events/s vs ref %.0f (x%.3f < %.3f)\n",
+                   r.name.c_str(), r.events_per_sec(), ref_eps, speedup, 1.0 - threshold);
+    }
+    body << ScenarioJson(r, speedup, have_ref);
+    body << (i + 1 < results.size() ? ",\n" : "\n");
+    const std::string suffix = have_ref ? " (x" + std::to_string(speedup) + " vs ref)" : "";
+    std::fprintf(stderr, "%-16s %12.0f events/s  %8.2f ns/event  %8.4f allocs/event%s\n",
+                 r.name.c_str(), r.events_per_sec(), r.ns_per_event(), r.allocs_per_event(),
+                 suffix.c_str());
+  }
+  body << "  ]\n}\n";
+
+  const std::string text = body.str();
+  std::fputs(text.c_str(), stdout);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << text;
+  }
+  if (gate && regressions > 0) {
+    std::fprintf(stderr, "perf gate: %d scenario(s) regressed beyond %.0f%%\n", regressions,
+                 threshold * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Perf-regression gate for the event engine and messaging hot path.
+#
+# Builds bench_engine in Release mode, runs it, writes BENCH_engine.json at
+# the repo root, and — when a checked-in baseline exists — fails (exit 1) if
+# any scenario's events/sec regressed more than THRESHOLD (default 10%)
+# against bench/baselines/BENCH_engine.baseline.json.
+#
+# Usage:
+#   scripts/perf_gate.sh                 # gate against the checked-in baseline
+#   THRESHOLD=0.05 scripts/perf_gate.sh  # stricter gate
+#   SCALE=0.25 scripts/perf_gate.sh      # quicker run (smaller workloads);
+#                                        # throughput ratios stay comparable
+#
+# The same comparison runs in ctest under the "perf" configuration:
+#   ctest --preset perf        (or: ctest -C perf -L perf from a build dir)
+# Tier-1 `ctest` never runs it: wall-clock throughput is machine-dependent,
+# so the gate is opt-in for perf work and CI perf jobs only.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${THRESHOLD:-0.10}"
+SCALE="${SCALE:-1.0}"
+BUILD_DIR="${BUILD_DIR:-build-release}"
+BASELINE="bench/baselines/BENCH_engine.baseline.json"
+OUT="BENCH_engine.json"
+
+cmake --preset release >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_engine -j >/dev/null
+
+GATE_ARGS=(--json="${OUT}" --scale="${SCALE}")
+if [[ -f "${BASELINE}" ]]; then
+  GATE_ARGS+=(--compare="${BASELINE}" --gate --threshold="${THRESHOLD}")
+else
+  echo "perf_gate: no baseline at ${BASELINE}; recording ${OUT} without gating" >&2
+fi
+
+"${BUILD_DIR}/bench/bench_engine" "${GATE_ARGS[@]}"
+echo "perf_gate: wrote ${OUT}"

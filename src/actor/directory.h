@@ -62,6 +62,13 @@ class DirectoryShard {
   const std::unordered_map<ActorId, DirEntry>& entries() const { return entries_; }
 
  private:
+  // Deliberately std::unordered_map, and deliberately never Reserve()d: the
+  // chaos harness's directory-churn fault iterates entries() and deactivates
+  // actors in iteration order, so the container type AND its bucket-count
+  // history are part of deterministic replay. Swapping in an open-addressing
+  // map (or even pre-sizing this one) reorders that walk and breaks
+  // byte-identical cross-version runs. Hot-path maps without observable
+  // iteration order use FlatHashMap instead (see src/actor/location_cache.h).
   std::unordered_map<ActorId, DirEntry> entries_;
   uint64_t next_token_ = 1;
 };

@@ -6,63 +6,106 @@ namespace actop {
 
 LocationCache::LocationCache(size_t capacity) : capacity_(capacity) {
   ACTOP_CHECK(capacity >= 1);
+  nodes_.reserve(capacity);
+  map_.Reserve(capacity);
+}
+
+uint32_t LocationCache::AllocNode() {
+  if (free_ != kNil) {
+    const uint32_t i = free_;
+    free_ = nodes_[i].next;
+    return i;
+  }
+  nodes_.emplace_back();
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void LocationCache::Unlink(uint32_t i) {
+  Node& n = nodes_[i];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+}
+
+void LocationCache::LinkFront(uint32_t i) {
+  Node& n = nodes_[i];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = i;
+  head_ = i;
+  if (tail_ == kNil) tail_ = i;
+}
+
+void LocationCache::Remove(uint32_t i) {
+  Unlink(i);
+  map_.Erase(nodes_[i].actor);
+  nodes_[i].next = free_;
+  free_ = i;
 }
 
 void LocationCache::Put(ActorId actor, ServerId server) {
-  auto it = map_.find(actor);
-  if (it != map_.end()) {
-    it->second->server = server;
-    lru_.splice(lru_.begin(), lru_, it->second);
+  if (uint32_t* found = map_.Find(actor)) {
+    const uint32_t i = *found;
+    nodes_[i].server = server;
+    Unlink(i);
+    LinkFront(i);
     return;
   }
   if (map_.size() >= capacity_) {
-    const Entry& victim = lru_.back();
-    map_.erase(victim.actor);
-    lru_.pop_back();
+    Remove(tail_);
   }
-  lru_.push_front(Entry{actor, server});
-  map_.emplace(actor, lru_.begin());
+  const uint32_t i = AllocNode();
+  nodes_[i].actor = actor;
+  nodes_[i].server = server;
+  LinkFront(i);
+  map_.Insert(actor, i);
 }
 
 ServerId LocationCache::Get(ActorId actor) {
-  auto it = map_.find(actor);
-  if (it == map_.end()) {
+  uint32_t* found = map_.Find(actor);
+  if (found == nullptr) {
     misses_++;
     return kNoServer;
   }
   hits_++;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->server;
+  const uint32_t i = *found;
+  Unlink(i);
+  LinkFront(i);
+  return nodes_[i].server;
 }
 
 ServerId LocationCache::Peek(ActorId actor) const {
-  auto it = map_.find(actor);
-  return it == map_.end() ? kNoServer : it->second->server;
+  const uint32_t* found = map_.Find(actor);
+  return found == nullptr ? kNoServer : nodes_[*found].server;
 }
 
 void LocationCache::Invalidate(ActorId actor) {
-  auto it = map_.find(actor);
-  if (it == map_.end()) {
-    return;
+  if (uint32_t* found = map_.Find(actor)) {
+    Remove(*found);
   }
-  lru_.erase(it->second);
-  map_.erase(it);
 }
 
 void LocationCache::InvalidateServer(ServerId server) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->server == server) {
-      map_.erase(it->actor);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  for (uint32_t i = head_; i != kNil;) {
+    const uint32_t next = nodes_[i].next;
+    if (nodes_[i].server == server) {
+      Remove(i);
     }
+    i = next;
   }
 }
 
 void LocationCache::Clear() {
-  lru_.clear();
-  map_.clear();
+  nodes_.clear();
+  head_ = tail_ = free_ = kNil;
+  map_.Clear();
 }
 
 }  // namespace actop

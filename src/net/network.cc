@@ -37,9 +37,36 @@ void Network::Send(NodeId from, NodeId to, uint32_t bytes, std::shared_ptr<void>
   }
   const auto wire = static_cast<SimDuration>(config_.ns_per_byte * static_cast<double>(bytes));
   const SimDuration delay = config_.one_way_latency + wire + fault_delay;
-  sim_->ScheduleAfter(delay, [this, from, to, bytes, msg = std::move(msg)] {
-    nodes_[static_cast<size_t>(to)](from, bytes, msg);
-  });
+  // Park the payload in a slab slot; the event capture is [this, slot], which
+  // stays inline in the engine (capturing the shared_ptr directly would work
+  // too, but [this, from, to, bytes, msg] overflows the inline buffer).
+  uint32_t slot;
+  if (in_flight_free_ != kNilIndex) {
+    slot = in_flight_free_;
+    in_flight_free_ = in_flight_[slot].free_next;
+  } else {
+    in_flight_.emplace_back();
+    slot = static_cast<uint32_t>(in_flight_.size() - 1);
+  }
+  InFlight& f = in_flight_[slot];
+  f.msg = std::move(msg);
+  f.from = from;
+  f.to = to;
+  f.bytes = bytes;
+  sim_->ScheduleAfter(delay, [this, slot] { Deliver(slot); });
+}
+
+void Network::Deliver(uint32_t slot) {
+  // Copy the fields out and recycle the slot before invoking the handler:
+  // the handler may Send, which can grow in_flight_ or reuse this slot.
+  InFlight& f = in_flight_[slot];
+  std::shared_ptr<void> msg = std::move(f.msg);
+  const NodeId from = f.from;
+  const NodeId to = f.to;
+  const uint32_t bytes = f.bytes;
+  f.free_next = in_flight_free_;
+  in_flight_free_ = slot;
+  nodes_[static_cast<size_t>(to)](from, bytes, std::move(msg));
 }
 
 }  // namespace actop

@@ -9,6 +9,11 @@
 // The network layer is payload-agnostic: messages are type-erased shared
 // pointers, and the declared byte size (used for the bandwidth term and for
 // serialization-cost modeling at the endpoints) travels alongside.
+//
+// Hot path: each in-flight message parks its payload and routing fields in a
+// slab slot so the delivery event's capture is just [this, slot] — small
+// enough to stay inline in the engine's InlineTask, making Send allocation-
+// free at steady state (slots are recycled through a free list).
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
@@ -67,9 +72,25 @@ class Network {
   const NetworkConfig& config() const { return config_; }
 
  private:
+  static constexpr uint32_t kNilIndex = 0xFFFFFFFFu;
+
+  // One message on the wire. Slots recycle through a free list threaded
+  // over free_next.
+  struct InFlight {
+    std::shared_ptr<void> msg;
+    NodeId from = kNoNode;
+    uint32_t bytes = 0;
+    uint32_t free_next = kNilIndex;
+    NodeId to = kNoNode;
+  };
+
+  void Deliver(uint32_t slot);
+
   Simulation* sim_;
   NetworkConfig config_;
   std::vector<DeliverFn> nodes_;
+  std::vector<InFlight> in_flight_;
+  uint32_t in_flight_free_ = kNilIndex;
   FaultFn fault_injector_;
   uint64_t total_messages_ = 0;
   uint64_t total_bytes_ = 0;

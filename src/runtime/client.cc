@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/runtime/envelope_pool.h"
 #include "src/runtime/message.h"
 
 namespace actop {
@@ -57,7 +58,7 @@ void ClientPool::IssueRequest() {
     return;
   }
   const uint64_t seq = next_seq_++;
-  auto env = std::make_shared<Envelope>();
+  auto env = MakeEnvelope();
   env->kind = MessageKind::kCall;
   env->call_id = CallId{node_, seq};
   env->target = target;
@@ -114,7 +115,7 @@ DirectClient::DirectClient(Simulation* sim, Cluster* cluster, uint64_t seed)
 void DirectClient::Call(ActorId target, MethodId method, uint64_t app_data, uint32_t bytes,
                         std::function<void(const Response&)> on_response) {
   const uint64_t seq = next_seq_++;
-  auto env = std::make_shared<Envelope>();
+  auto env = MakeEnvelope();
   env->kind = MessageKind::kCall;
   env->call_id = CallId{node_, on_response == nullptr ? 0 : seq};
   env->target = target;

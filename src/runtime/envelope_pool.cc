@@ -1,0 +1,12 @@
+#include "src/runtime/envelope_pool.h"
+
+namespace actop {
+
+RecyclingBlockCache& EnvelopeBlockCache() {
+  static RecyclingBlockCache cache;
+  return cache;
+}
+
+std::shared_ptr<Envelope> MakeEnvelope() { return MakePooled<Envelope>(EnvelopeBlockCache()); }
+
+}  // namespace actop

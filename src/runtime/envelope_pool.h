@@ -1,0 +1,32 @@
+// Pooled envelope factory.
+//
+// Every message in the system is carried by a shared_ptr<Envelope>; the seed
+// runtime created each one with make_shared, paying a heap allocation per
+// message. MakeEnvelope() recycles the combined object+control-block through
+// a process-wide RecyclingBlockCache instead. The returned envelope is
+// freshly default-constructed — call sites that used make_shared<Envelope>()
+// switch over with no behavioral change.
+//
+// The cache is a function-local static (the simulator is single-threaded per
+// process; benches and tests each run one cluster at a time), so it outlives
+// every simulation object and frees its cached blocks at process exit.
+
+#ifndef SRC_RUNTIME_ENVELOPE_POOL_H_
+#define SRC_RUNTIME_ENVELOPE_POOL_H_
+
+#include <memory>
+
+#include "src/common/recycling_pool.h"
+#include "src/runtime/message.h"
+
+namespace actop {
+
+// The process-wide envelope block cache (exposed for stats and tests).
+RecyclingBlockCache& EnvelopeBlockCache();
+
+// Returns a default-constructed pooled envelope.
+std::shared_ptr<Envelope> MakeEnvelope();
+
+}  // namespace actop
+
+#endif  // SRC_RUNTIME_ENVELOPE_POOL_H_

@@ -5,6 +5,7 @@
 
 #include "src/common/check.h"
 #include "src/runtime/cluster.h"
+#include "src/runtime/envelope_pool.h"
 
 namespace actop {
 
@@ -409,7 +410,7 @@ void Server::FinishTurn(ActorId actor) {
 
 void Server::IssueCall(ActorId from_actor, ActorId target, MethodId method, uint64_t app_data,
                        uint32_t bytes, std::function<void(const Response&)> on_response) {
-  auto env = std::make_shared<Envelope>();
+  auto env = MakeEnvelope();
   env->kind = MessageKind::kCall;
   env->target = target;
   env->source_actor = from_actor;
@@ -453,7 +454,7 @@ void Server::CompleteReply(ActorId from_actor, const Envelope& original_call, ui
   if (original_call.call_id.seq == 0) {
     return;  // one-way call: the reply is dropped
   }
-  auto env = std::make_shared<Envelope>();
+  auto env = MakeEnvelope();
   env->kind = MessageKind::kResponse;
   env->call_id = original_call.call_id;
   env->target = original_call.source_actor;
@@ -543,13 +544,13 @@ void Server::SendControl(ServerId dest, ControlPayload payload) {
   if (dest == id_) {
     // Local control operations skip the wire but still defer via the event
     // queue for re-entrancy safety.
-    auto env = std::make_shared<Envelope>();
+    auto env = MakeEnvelope();
     env->kind = MessageKind::kControl;
     env->control = std::move(payload);
     sim_->ScheduleAfter(0, [this, env] { HandleControl(*env, node_); });
     return;
   }
-  auto env = std::make_shared<Envelope>();
+  auto env = MakeEnvelope();
   env->kind = MessageKind::kControl;
   env->payload_bytes = config_.control_bytes;
   env->control = std::move(payload);

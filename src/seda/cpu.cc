@@ -30,7 +30,7 @@ CpuModel::CpuModel(Simulation* sim, int cores, double kappa, SimDuration quantum
 }
 
 double CpuModel::Efficiency() const {
-  const int excess = std::max(0, static_cast<int>(jobs_.size()) - cores_);
+  const int excess = std::max(0, num_jobs_ - cores_);
   return 1.0 / (1.0 + kappa_ * static_cast<double>(excess));
 }
 
@@ -38,11 +38,10 @@ double CpuModel::Rate() const {
   if (paused_) {
     return 0.0;
   }
-  const auto n = static_cast<double>(jobs_.size());
-  if (n == 0.0) {
+  if (num_jobs_ == 0) {
     return 0.0;
   }
-  const double share = std::min(1.0, static_cast<double>(cores_) / n);
+  const double share = std::min(1.0, static_cast<double>(cores_) / static_cast<double>(num_jobs_));
   return share * Efficiency();
 }
 
@@ -53,12 +52,12 @@ void CpuModel::AdvanceTo(SimTime t) {
     if (paused_) {
       // All cores burn GC work; no job progresses.
       busy_core_nanos_ += dt * static_cast<double>(cores_);
-    } else if (!jobs_.empty()) {
+    } else if (num_jobs_ > 0) {
       const double rate = Rate();
-      for (Job& job : jobs_) {
-        job.remaining -= dt * rate;
+      for (uint32_t i = jobs_head_; i != kNilIndex; i = jobs_[i].next) {
+        jobs_[i].remaining -= dt * rate;
       }
-      busy_core_nanos_ += dt * std::min<double>(static_cast<double>(jobs_.size()), cores_);
+      busy_core_nanos_ += dt * std::min<double>(num_jobs_, cores_);
     }
   }
   last_update_ = t;
@@ -69,12 +68,12 @@ void CpuModel::Reschedule() {
     sim_->Cancel(pending_completion_);
     pending_completion_ = 0;
   }
-  if (jobs_.empty() || paused_) {
+  if (num_jobs_ == 0 || paused_) {
     return;
   }
-  double min_remaining = jobs_.front().remaining;
-  for (const Job& job : jobs_) {
-    min_remaining = std::min(min_remaining, job.remaining);
+  double min_remaining = jobs_[jobs_head_].remaining;
+  for (uint32_t i = jobs_[jobs_head_].next; i != kNilIndex; i = jobs_[i].next) {
+    min_remaining = std::min(min_remaining, jobs_[i].remaining);
   }
   const double rate = Rate();
   ACTOP_CHECK(rate > 0.0);
@@ -86,32 +85,49 @@ void CpuModel::Reschedule() {
 void CpuModel::OnCompletion() {
   pending_completion_ = 0;
   AdvanceTo(sim_->now());
-  // Collect every job that has finished (ties are possible), then run their
-  // callbacks after the list has been updated: a callback typically starts
-  // the next computation on the same CPU.
-  std::vector<std::function<void()>> done;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->remaining <= kDoneEpsilon) {
-      done.push_back(std::move(it->done));
-      it = jobs_.erase(it);
-    } else {
-      ++it;
+  // Collect every job that has finished (ties are possible) in insertion
+  // order, then run the callbacks after the list has been updated: a
+  // callback typically starts the next computation on the same CPU.
+  done_scratch_.clear();
+  for (uint32_t i = jobs_head_; i != kNilIndex;) {
+    const uint32_t next = jobs_[i].next;
+    if (jobs_[i].remaining <= kDoneEpsilon) {
+      done_scratch_.push_back(std::move(jobs_[i].done));
+      Job& j = jobs_[i];
+      if (j.prev != kNilIndex) {
+        jobs_[j.prev].next = j.next;
+      } else {
+        jobs_head_ = j.next;
+      }
+      if (j.next != kNilIndex) {
+        jobs_[j.next].prev = j.prev;
+      } else {
+        jobs_tail_ = j.prev;
+      }
+      j.next = jobs_free_;
+      jobs_free_ = i;
+      num_jobs_--;
     }
+    i = next;
   }
   Reschedule();
-  for (auto& fn : done) {
+  for (InlineTask& fn : done_scratch_) {
     fn();
   }
+  done_scratch_.clear();
 }
 
-void CpuModel::BeginCompute(SimDuration demand, std::function<void()> done) {
-  ACTOP_CHECK(done != nullptr);
+void CpuModel::BeginCompute(SimDuration demand, InlineTask done) {
+  ACTOP_CHECK(static_cast<bool>(done));
   if (demand <= 0) {
     // Zero-cost work completes immediately but still via the event queue so
     // that callers never re-enter synchronously.
     sim_->ScheduleAfter(0, std::move(done));
     return;
   }
+  // Park the job in a slab slot first so the continuation lambdas below
+  // capture only [this, slot] and stay inline in the event engine.
+  const uint32_t slot = AllocJob(demand, std::move(done));
   // Dispatch latency: a newly runnable thread waits for a scheduling quantum
   // when there are more runnable threads than cores.
   const int over = runnable_jobs() + 1 - cores_;
@@ -120,18 +136,48 @@ void CpuModel::BeginCompute(SimDuration demand, std::function<void()> done) {
                         static_cast<double>(cores_);
     const auto delay = static_cast<SimDuration>(rng_.NextExp(mean) + 0.5);
     ready_jobs_++;
-    sim_->ScheduleAfter(delay, [this, demand, done = std::move(done)]() mutable {
+    sim_->ScheduleAfter(delay, [this, slot] {
       ready_jobs_--;
-      StartJob(demand, std::move(done));
+      StartParkedJob(slot);
     });
     return;
   }
-  StartJob(demand, std::move(done));
+  StartParkedJob(slot);
 }
 
-void CpuModel::StartJob(SimDuration demand, std::function<void()> done) {
+uint32_t CpuModel::AllocJob(SimDuration demand, InlineTask done) {
+  uint32_t slot;
+  if (jobs_free_ != kNilIndex) {
+    slot = jobs_free_;
+    jobs_free_ = jobs_[slot].next;
+  } else {
+    jobs_.emplace_back();
+    slot = static_cast<uint32_t>(jobs_.size() - 1);
+  }
+  Job& j = jobs_[slot];
+  j.remaining = static_cast<double>(demand);
+  j.done = std::move(done);
+  j.prev = kNilIndex;
+  j.next = kNilIndex;
+  return slot;
+}
+
+void CpuModel::LinkJob(uint32_t slot) {
+  Job& j = jobs_[slot];
+  j.prev = jobs_tail_;
+  j.next = kNilIndex;
+  if (jobs_tail_ != kNilIndex) {
+    jobs_[jobs_tail_].next = slot;
+  } else {
+    jobs_head_ = slot;
+  }
+  jobs_tail_ = slot;
+  num_jobs_++;
+}
+
+void CpuModel::StartParkedJob(uint32_t slot) {
   AdvanceTo(sim_->now());
-  jobs_.push_back(Job{static_cast<double>(demand), std::move(done)});
+  LinkJob(slot);
   Reschedule();
 }
 
@@ -188,8 +234,8 @@ double CpuModel::busy_core_nanos() const {
   if (dt > 0.0) {
     if (paused_) {
       busy += dt * static_cast<double>(cores_);
-    } else if (!jobs_.empty()) {
-      busy += dt * std::min<double>(static_cast<double>(jobs_.size()), cores_);
+    } else if (num_jobs_ > 0) {
+      busy += dt * std::min<double>(num_jobs_, cores_);
     }
   }
   return busy;

@@ -33,9 +33,9 @@
 #define SRC_SEDA_CPU_H_
 
 #include <cstdint>
-#include <functional>
-#include <list>
+#include <vector>
 
+#include "src/common/inline_task.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
 #include "src/sim/simulation.h"
@@ -55,7 +55,7 @@ class CpuModel {
   // Starts a computation with the given CPU demand (in ns of dedicated-core
   // time). `done` runs when the computation completes; the wallclock taken is
   // >= demand and depends on concurrent load. Returns an opaque job count.
-  void BeginCompute(SimDuration demand, std::function<void()> done);
+  void BeginCompute(SimDuration demand, InlineTask done);
 
   // Total threads allocated on this server (across all stages). Bookkeeping
   // only: the over-subscription penalty depends on *active* computations
@@ -65,9 +65,9 @@ class CpuModel {
 
   int cores() const { return cores_; }
   // Jobs currently computing (on-CPU, sharing cores).
-  int active_jobs() const { return static_cast<int>(jobs_.size()); }
+  int active_jobs() const { return num_jobs_; }
   // Jobs runnable: waiting for a scheduling quantum plus computing.
-  int runnable_jobs() const { return ready_jobs_ + static_cast<int>(jobs_.size()); }
+  int runnable_jobs() const { return ready_jobs_ + num_jobs_; }
 
   // Busy core-nanoseconds accumulated since construction. `utilization` over
   // a window is (busy_core_nanos delta) / (cores * window).
@@ -90,19 +90,28 @@ class CpuModel {
   bool paused() const { return paused_; }
 
  private:
-  struct Job {
-    double remaining;  // ns of demanded core time still owed
-    std::function<void()> done;
-  };
+  static constexpr uint32_t kNilIndex = 0xFFFFFFFFu;
 
-  using JobList = std::list<Job>;
+  // Jobs live in a slab threaded by an intrusive doubly-linked list in
+  // insertion order (OnCompletion collects finished callbacks in that order,
+  // which is part of deterministic dispatch); freed slots recycle through a
+  // free list over `next`. A parked job (dispatch-latency wait) occupies a
+  // slot but is not yet linked.
+  struct Job {
+    double remaining = 0.0;  // ns of demanded core time still owed
+    InlineTask done;
+    uint32_t prev = kNilIndex;
+    uint32_t next = kNilIndex;  // doubles as the free-list link
+  };
 
   double Efficiency() const;
   double Rate() const;  // per-job progress per wallclock ns
   void AdvanceTo(SimTime t);
   void Reschedule();
   void OnCompletion();
-  void StartJob(SimDuration demand, std::function<void()> done);
+  uint32_t AllocJob(SimDuration demand, InlineTask done);
+  void LinkJob(uint32_t slot);
+  void StartParkedJob(uint32_t slot);
   void SchedulePause();
   void BeginPause();
   void EndPause();
@@ -114,7 +123,13 @@ class CpuModel {
   Rng rng_;
   int total_threads_;
   int ready_jobs_ = 0;
-  JobList jobs_;
+  std::vector<Job> jobs_;
+  uint32_t jobs_head_ = kNilIndex;  // oldest linked job
+  uint32_t jobs_tail_ = kNilIndex;
+  uint32_t jobs_free_ = kNilIndex;
+  int num_jobs_ = 0;
+  // Reused across completions so tie batches do not allocate at steady state.
+  std::vector<InlineTask> done_scratch_;
   SimTime last_update_ = 0;
   EventId pending_completion_ = 0;
   double busy_core_nanos_ = 0.0;

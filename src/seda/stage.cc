@@ -58,25 +58,41 @@ void Stage::StartService(QueuedEvent&& qe) {
   busy_++;
   const SimTime now = sim_->now();
   window_.sum_queue_wait += static_cast<double>(now - qe.enqueue_time);
-  const SimDuration compute = qe.event.compute;
-  const SimDuration blocking = qe.event.blocking;
-  auto done = std::move(qe.event.done);
-  cpu_->BeginCompute(
-      compute, [this, service_start = now, compute, blocking, done = std::move(done)]() mutable {
-        if (blocking > 0) {
-          sim_->ScheduleAfter(blocking,
-                              [this, service_start, compute, blocking,
-                               done = std::move(done)]() mutable {
-                                FinishService(service_start, compute, blocking, std::move(done));
-                              });
-        } else {
-          FinishService(service_start, compute, blocking, std::move(done));
-        }
-      });
+  uint32_t slot;
+  if (in_service_free_ != kNilIndex) {
+    slot = in_service_free_;
+    in_service_free_ = in_service_[slot].free_next;
+  } else {
+    in_service_.emplace_back();
+    slot = static_cast<uint32_t>(in_service_.size() - 1);
+  }
+  InService& s = in_service_[slot];
+  s.service_start = now;
+  s.compute = qe.event.compute;
+  s.blocking = qe.event.blocking;
+  s.done = std::move(qe.event.done);
+  cpu_->BeginCompute(s.compute, [this, slot] { OnComputeDone(slot); });
 }
 
-void Stage::FinishService(SimTime service_start, SimDuration compute, SimDuration blocking,
-                          std::function<void()> done) {
+void Stage::OnComputeDone(uint32_t slot) {
+  if (in_service_[slot].blocking > 0) {
+    sim_->ScheduleAfter(in_service_[slot].blocking, [this, slot] { FinishService(slot); });
+    return;
+  }
+  FinishService(slot);
+}
+
+void Stage::FinishService(uint32_t slot) {
+  // Copy the record out and recycle the slot before any callback runs: both
+  // MaybeStartService and the continuation can start new service (and thus
+  // grow or reuse the slab).
+  const SimTime service_start = in_service_[slot].service_start;
+  const SimDuration compute = in_service_[slot].compute;
+  const SimDuration blocking = in_service_[slot].blocking;
+  InlineTask done = std::move(in_service_[slot].done);
+  in_service_[slot].free_next = in_service_free_;
+  in_service_free_ = slot;
+
   const SimTime now = sim_->now();
   window_.completions++;
   total_completions_++;

@@ -19,24 +19,27 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <limits>
 #include <string>
+#include <vector>
 
+#include "src/common/inline_task.h"
 #include "src/common/sim_time.h"
 #include "src/seda/cpu.h"
 #include "src/sim/simulation.h"
 
 namespace actop {
 
-// Work item submitted to a stage.
+// Work item submitted to a stage. Move-only: continuations are InlineTask,
+// so typical captures ride inline through the queue and the event engine
+// without heap traffic.
 struct StageEvent {
   SimDuration compute = 0;   // x: CPU demand
   SimDuration blocking = 0;  // w: synchronous blocking time (no CPU)
   // Continuation invoked when processing completes.
-  std::function<void()> done;
+  InlineTask done;
   // Invoked instead of `done` if the event is rejected (bounded queue full).
-  std::function<void()> rejected;
+  InlineTask rejected;
 };
 
 // Aggregates over a measurement window; all sums are nanoseconds.
@@ -96,15 +99,28 @@ class Stage {
   uint64_t total_rejections() const { return total_rejections_; }
 
  private:
+  static constexpr uint32_t kNilIndex = 0xFFFFFFFFu;
+
   struct QueuedEvent {
     StageEvent event;
     SimTime enqueue_time;
   };
 
+  // One event being serviced by a stage thread. Parked in a slab so the
+  // compute/blocking continuations capture only [this, slot] and stay inline
+  // in the event engine; slots recycle through a free list (free_next).
+  struct InService {
+    SimTime service_start = 0;
+    SimDuration compute = 0;
+    SimDuration blocking = 0;
+    InlineTask done;
+    uint32_t free_next = kNilIndex;
+  };
+
   void MaybeStartService();
   void StartService(QueuedEvent&& qe);
-  void FinishService(SimTime service_start, SimDuration compute, SimDuration blocking,
-                     std::function<void()> done);
+  void OnComputeDone(uint32_t slot);
+  void FinishService(uint32_t slot);
   void AccountQueueLength();
 
   Simulation* sim_;
@@ -113,6 +129,8 @@ class Stage {
   int threads_;
   size_t queue_capacity_;
   std::deque<QueuedEvent> queue_;
+  std::vector<InService> in_service_;
+  uint32_t in_service_free_ = kNilIndex;
   int busy_ = 0;
   StageWindow window_;
   SimTime last_queue_account_ = 0;

@@ -1,6 +1,7 @@
 #include "src/testing/chaos_client.h"
 
 #include "src/common/check.h"
+#include "src/runtime/envelope_pool.h"
 
 namespace actop {
 
@@ -16,7 +17,7 @@ ChaosClient::ChaosClient(Simulation* sim, Cluster* cluster, ChaosClientConfig co
 
 void ChaosClient::Call(ActorId target, MethodId method, uint64_t app_data) {
   const uint64_t seq = next_seq_++;
-  auto env = std::make_shared<Envelope>();
+  auto env = MakeEnvelope();
   env->kind = MessageKind::kCall;
   env->call_id = CallId{node_, seq};
   env->target = target;

@@ -1,0 +1,124 @@
+#include "src/common/flat_hash_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+
+namespace actop {
+namespace {
+
+TEST(FlatHashMapTest, EmptyFindsNothing) {
+  FlatHashMap<uint64_t, int> m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(42), nullptr);
+  EXPECT_FALSE(m.Erase(42));
+}
+
+TEST(FlatHashMapTest, InsertFindErase) {
+  FlatHashMap<uint64_t, int> m;
+  EXPECT_TRUE(m.Insert(1, 10));
+  EXPECT_TRUE(m.Insert(2, 20));
+  EXPECT_FALSE(m.Insert(1, 11));  // overwrite, not new
+  ASSERT_NE(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(1), 11);
+  EXPECT_EQ(*m.Find(2), 20);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.Erase(1));
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(2), 20);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatHashMapTest, GrowsPastInitialCapacity) {
+  FlatHashMap<uint64_t, uint64_t> m;
+  for (uint64_t i = 0; i < 1000; i++) {
+    m.Insert(i, i * 3);
+  }
+  EXPECT_EQ(m.size(), 1000u);
+  for (uint64_t i = 0; i < 1000; i++) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), i * 3);
+  }
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsRehash) {
+  FlatHashMap<uint64_t, int> m;
+  m.Reserve(500);
+  for (uint64_t i = 0; i < 500; i++) {
+    m.Insert(i, static_cast<int>(i));
+  }
+  for (uint64_t i = 0; i < 500; i++) {
+    ASSERT_NE(m.Find(i), nullptr);
+  }
+}
+
+// Colliding hasher: forces every key into the same probe chain so erase must
+// backward-shift correctly through wrapped clusters.
+struct CollidingHash {
+  size_t operator()(uint64_t) const { return 7; }
+};
+
+TEST(FlatHashMapTest, BackwardShiftEraseKeepsChainReachable) {
+  FlatHashMap<uint64_t, int, CollidingHash> m;
+  for (uint64_t i = 0; i < 10; i++) {
+    m.Insert(i, static_cast<int>(i) * 100);
+  }
+  // Erase from the middle of the chain; everything after must stay findable.
+  EXPECT_TRUE(m.Erase(3));
+  EXPECT_TRUE(m.Erase(0));
+  EXPECT_TRUE(m.Erase(7));
+  EXPECT_EQ(m.size(), 7u);
+  for (uint64_t i : {1, 2, 4, 5, 6, 8, 9}) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), static_cast<int>(i) * 100);
+  }
+  for (uint64_t i : {0, 3, 7}) {
+    EXPECT_EQ(m.Find(i), nullptr) << i;
+  }
+}
+
+TEST(FlatHashMapTest, ClearEmptiesMap) {
+  FlatHashMap<uint64_t, int> m;
+  m.Insert(1, 1);
+  m.Insert(2, 2);
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find(1), nullptr);
+  m.Insert(3, 3);  // usable after Clear
+  EXPECT_EQ(*m.Find(3), 3);
+}
+
+// Differential fuzz against std::unordered_map through a random
+// insert/overwrite/erase/lookup schedule.
+TEST(FlatHashMapTest, MatchesUnorderedMapUnderChurn) {
+  FlatHashMap<uint64_t, uint64_t> flat;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(2026);
+  for (int step = 0; step < 20000; step++) {
+    const uint64_t key = rng.NextBounded(300);  // small keyspace -> churn
+    const uint64_t op = rng.NextBounded(10);
+    if (op < 5) {
+      const uint64_t val = rng.NextU64();
+      const bool inserted = flat.Insert(key, val);
+      const bool ref_inserted = ref.insert_or_assign(key, val).second;
+      ASSERT_EQ(inserted, ref_inserted) << "step " << step;
+    } else if (op < 8) {
+      ASSERT_EQ(flat.Erase(key), ref.erase(key) > 0) << "step " << step;
+    } else {
+      const uint64_t* found = flat.Find(key);
+      auto it = ref.find(key);
+      ASSERT_EQ(found != nullptr, it != ref.end()) << "step " << step;
+      if (found != nullptr) {
+        ASSERT_EQ(*found, it->second) << "step " << step;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace actop

@@ -169,5 +169,151 @@ TEST(SimulationTest, ZeroDelayEventRunsAtCurrentTime) {
   EXPECT_EQ(when, Millis(10));
 }
 
+// --- engine edge cases (indexed-heap cancellation semantics) ---
+
+TEST(SimulationTest, CancelAfterFireReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.ScheduleAfter(Millis(1), [] {});
+  sim.Run();
+  // The seed engine wrongly returned true here (any id < next_id_ was
+  // accepted) and polluted its cancelled-set forever.
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // Bookkeeping is intact: new events still schedule and cancel normally.
+  const EventId id2 = sim.ScheduleAfter(Millis(1), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_TRUE(sim.Cancel(id2));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, CancelFromInsideOwnCallbackReturnsFalse) {
+  Simulation sim;
+  bool cancel_result = true;
+  EventId id = 0;
+  id = sim.ScheduleAfter(Millis(1), [&] { cancel_result = sim.Cancel(id); });
+  sim.Run();
+  EXPECT_FALSE(cancel_result);  // the event already fired
+}
+
+TEST(SimulationTest, CancelDoesNotAffectReusedSlot) {
+  Simulation sim;
+  // Fire-and-free a slot, then schedule a new event (which reuses it). The
+  // stale id must not cancel the new occupant.
+  const EventId stale = sim.ScheduleAfter(Millis(1), [] {});
+  sim.Run();
+  bool ran = false;
+  sim.ScheduleAfter(Millis(1), [&] { ran = true; });
+  EXPECT_FALSE(sim.Cancel(stale));
+  sim.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulationTest, PendingEventsIsExactAfterCancels) {
+  Simulation sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; i++) {
+    ids.push_back(sim.ScheduleAfter(Millis(1 + i), [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 16u);
+  for (int i = 0; i < 16; i += 2) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  // Cancelled events are removed immediately, not lazily at pop time.
+  EXPECT_EQ(sim.pending_events(), 8u);
+  EXPECT_EQ(sim.Run(), 8u);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockOverAllCancelledQueue) {
+  Simulation sim;
+  std::vector<EventId> ids;
+  for (int i = 1; i <= 5; i++) {
+    ids.push_back(sim.ScheduleAt(Millis(i), [] {}));
+  }
+  for (EventId id : ids) {
+    EXPECT_TRUE(sim.Cancel(id));
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.RunUntil(Millis(10)), 0u);
+  EXPECT_EQ(sim.now(), Millis(10));
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulationTest, CancelOnPeriodicControlIdActsAsCancelPeriodic) {
+  Simulation sim;
+  int ticks = 0;
+  const EventId id = sim.SchedulePeriodic(Millis(10), [&] { ticks++; });
+  sim.RunUntil(Millis(25));
+  EXPECT_EQ(ticks, 2);
+  EXPECT_TRUE(sim.Cancel(id));  // documented equivalent of CancelPeriodic
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.RunUntil(Millis(100));
+  EXPECT_EQ(ticks, 2);
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is stale
+}
+
+TEST(SimulationTest, CancelPeriodicReturnsFalseWhenStale) {
+  Simulation sim;
+  const EventId id = sim.SchedulePeriodic(Millis(10), [] {});
+  EXPECT_TRUE(sim.CancelPeriodic(id));
+  EXPECT_FALSE(sim.CancelPeriodic(id));
+  EXPECT_FALSE(sim.CancelPeriodic(0));
+  // One-shot ids are not periodic control ids.
+  const EventId one_shot = sim.ScheduleAfter(Millis(1), [] {});
+  EXPECT_FALSE(sim.CancelPeriodic(one_shot));
+  EXPECT_TRUE(sim.Cancel(one_shot));
+}
+
+TEST(SimulationTest, PeriodicSelfCancelInsideOwnCallbackReturnsTrue) {
+  Simulation sim;
+  int ticks = 0;
+  bool cancel_result = false;
+  EventId id = 0;
+  id = sim.SchedulePeriodic(Millis(10), [&] {
+    ticks++;
+    if (ticks == 3) {
+      cancel_result = sim.CancelPeriodic(id);
+    }
+  });
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_TRUE(cancel_result);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, PeriodicCanRestartItselfInsideOwnCallback) {
+  Simulation sim;
+  int slow_ticks = 0;
+  int fast_ticks = 0;
+  EventId id = 0;
+  id = sim.SchedulePeriodic(Millis(10), [&] {
+    slow_ticks++;
+    if (slow_ticks == 2) {
+      sim.CancelPeriodic(id);
+      // Reuses the freed periodic slot; the old generation must not leak
+      // into the replacement.
+      sim.SchedulePeriodic(Millis(5), [&] { fast_ticks++; });
+    }
+  });
+  sim.RunUntil(Millis(41));
+  EXPECT_EQ(slow_ticks, 2);   // at 10, 20
+  EXPECT_EQ(fast_ticks, 4);   // at 25, 30, 35, 40
+}
+
+TEST(SimulationTest, SameTimestampTieBreakIsScheduleOrderAcrossOperations) {
+  Simulation sim;
+  std::vector<int> order;
+  // Interleave schedules and cancels at one timestamp; survivors must run
+  // in original scheduling order regardless of heap internals.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 12; i++) {
+    ids.push_back(sim.ScheduleAt(Millis(7), [&order, i] { order.push_back(i); }));
+  }
+  for (int i : {1, 4, 5, 9}) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 6, 7, 8, 10, 11}));
+}
+
 }  // namespace
 }  // namespace actop
