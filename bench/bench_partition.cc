@@ -1,0 +1,615 @@
+// Partitioning data-plane microbenchmark (second perf-gate workload).
+//
+// Measures the partitioning hot path — the edge sampler and the pairwise
+// exchange planner that every PartitionAgent round runs — and, unlike
+// bench_engine, measures each scenario TWICE in the same binary: once with
+// the optimized implementations (Stream-Summary SpaceSaving, indexed
+// ExchangeHeap + scratch-buffer BuildPeerPlans) and once with the retained
+// seed implementations (space_saving_reference.h,
+// pairwise_partition_reference.h). The two are proven decision-identical by
+// tests/core/space_saving_fuzz_test.cc and exchange_golden_test.cc, so the
+// in-binary "speedup_vs_seed_impl" is a pure data-structure comparison on
+// identical inputs producing identical outputs.
+//
+//   observe_stream   steady-state Observe() churn on a full sampler: skewed
+//                    (power-law-ish) keys over a key space far larger than
+//                    capacity, so most observes evict. The PartitionAgent
+//                    edge-monitor hot loop. Must run allocation-free.
+//   decay_churn      the agent's decay timer: bursts of observes punctuated
+//                    by Decay() halving/rebuild on a full sampler.
+//   plan_build       BuildPeerPlans over a 16-server power-law local view —
+//                    the per-round planning cost on the initiating side.
+//   exchange_round   a full pairwise round: BuildPeerPlans on p, ship the
+//                    plan toward q, DecideExchange on q (greedy joint subset
+//                    selection with both heaps) — Alg. 1 end to end.
+//
+// Each scenario reports events/sec, ns/event and — via the global
+// counting-allocator hook below — heap allocations per event in steady
+// state, plus speedup_vs_seed_impl. Output is line-oriented JSON exactly
+// like bench_engine so scripts/perf_gate.sh can compare runs with basic
+// text tools; see EXPERIMENTS.md ("Partition microbenchmark & perf gate").
+//
+// Usage:
+//   bench_partition [--json=FILE] [--compare=FILE] [--gate]
+//                   [--threshold=0.10] [--scale=1.0]
+//
+// --compare adds per-scenario "speedup_vs_ref" against a reference JSON
+// (e.g. the checked-in baseline); with --gate the exit code is non-zero if
+// any scenario's throughput regresses by more than --threshold, OR if the
+// geomean in-binary speedup over {observe_stream, exchange_round} falls
+// below 1.5x (the acceptance floor is 2x on the reference machine; 1.5x
+// leaves headroom for noisy CI boxes while still catching a lost rewrite).
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/core/pairwise_partition.h"
+#include "src/core/pairwise_partition_reference.h"
+#include "src/core/space_saving.h"
+#include "src/core/space_saving_reference.h"
+
+// ---------------------------------------------------------------------------
+// Counting-allocator hook (same as bench_engine): every global new/delete in
+// this binary is counted. Scenarios reset the counters after setup/warmup so
+// the reported figures are steady-state allocations.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+}  // namespace
+
+// The replaced operators pair malloc with free by construction, but when GCC
+// inlines `operator delete` into STL container internals in this TU it
+// reports -Wmismatched-new-delete against the opaque replaced `operator new`
+// (a known false positive for counting allocators; bench_engine.cc only
+// escapes it because its containers live behind the runtime library).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace actop {
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  uint64_t events = 0;    // operations driven through the optimized path
+  uint64_t wall_ns = 0;   // wall-clock for the optimized measured phase
+  uint64_t allocs = 0;    // heap allocations during the optimized phase
+  uint64_t bytes = 0;     // heap bytes during the optimized phase
+  uint64_t ref_wall_ns = 0;  // wall-clock for the seed-impl phase (same work)
+
+  double events_per_sec() const {
+    return wall_ns == 0 ? 0.0 : static_cast<double>(events) * 1e9 / static_cast<double>(wall_ns);
+  }
+  double ns_per_event() const {
+    return events == 0 ? 0.0 : static_cast<double>(wall_ns) / static_cast<double>(events);
+  }
+  double allocs_per_event() const {
+    return events == 0 ? 0.0 : static_cast<double>(allocs) / static_cast<double>(events);
+  }
+  double bytes_per_event() const {
+    return events == 0 ? 0.0 : static_cast<double>(bytes) / static_cast<double>(events);
+  }
+  // Both phases do identical work, so the speedup is the wall-clock ratio.
+  double seed_impl_speedup() const {
+    return wall_ns == 0 ? 0.0 : static_cast<double>(ref_wall_ns) / static_cast<double>(wall_ns);
+  }
+};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void ResetAllocCounters() {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_alloc_bytes.store(0, std::memory_order_relaxed);
+}
+
+uint64_t g_sink = 0;  // defeats dead-code elimination across scenarios
+
+// ---------------------------------------------------------------------------
+// Shared input generators. Deterministic (seeded Rng) so the optimized and
+// seed-impl phases of every scenario consume byte-identical inputs.
+// ---------------------------------------------------------------------------
+
+// Skewed key stream over a key space much larger than any sampler capacity:
+// squaring a uniform draw concentrates mass on small keys (heavy hitters)
+// while keeping a long eviction-forcing tail — the same shape the edge
+// monitor sees from power-law actor communication.
+std::vector<uint64_t> MakeKeyStream(size_t n, uint64_t seed) {
+  constexpr uint64_t kKeySpace = 1 << 20;
+  Rng rng(seed);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) {
+    const uint64_t raw = rng.NextBounded(kKeySpace);
+    k = raw * raw / kKeySpace;
+  }
+  return keys;
+}
+
+// Power-law LocalGraphView: `sampled` local vertices with degrees skewed
+// toward 1 but reaching 64, edges split between local peers and uniformly
+// chosen remote servers, integer weights (exact in double, so both
+// implementations sum them bit-identically in any association).
+LocalGraphView MakePowerLawView(ServerId self, int num_servers, int64_t per_server, int sampled,
+                                uint64_t seed) {
+  Rng rng(seed);
+  LocalGraphView view;
+  view.self = self;
+  view.num_local_vertices = per_server;
+  const auto vid = [](ServerId s, uint64_t i) {
+    return static_cast<VertexId>(s) * 1'000'000ULL + i;
+  };
+  const auto n = static_cast<uint64_t>(per_server);
+  for (int i = 0; i < sampled; i++) {
+    const VertexId me = vid(self, rng.NextBounded(n));
+    auto& adj = view.adjacency[me];
+    const double u = rng.NextDouble();
+    const int degree = 1 + static_cast<int>(63.0 * u * u * u * u);
+    for (int e = 0; e < degree; e++) {
+      VertexId other;
+      if (num_servers > 1 && rng.NextBool(0.5)) {
+        const auto hop = 1 + static_cast<ServerId>(rng.NextBounded(
+                                 static_cast<uint64_t>(num_servers - 1)));
+        const ServerId s = (self + hop) % num_servers;
+        other = vid(s, rng.NextBounded(n));
+        view.location[other] = s;
+      } else {
+        other = vid(self, rng.NextBounded(n));
+      }
+      if (other == me) {
+        continue;
+      }
+      adj[other] += 1.0 + static_cast<double>(rng.NextBounded(16));
+    }
+  }
+  return view;
+}
+
+size_t CountEdges(const LocalGraphView& view) {
+  size_t edges = 0;
+  for (const auto& [v, adj] : view.adjacency) {
+    edges += adj.size();
+  }
+  return edges;
+}
+
+// ---------------------------------------------------------------------------
+// observe_stream: steady-state Observe() on a full sampler. The measured
+// phase of the optimized sketch must be allocation-free: the Stream-Summary
+// slab, bucket free list, and FlatHashMap churn in place once warm.
+// ---------------------------------------------------------------------------
+
+template <typename Sketch>
+uint64_t TimeObserves(Sketch* sketch, const std::vector<uint64_t>& keys, size_t from, size_t to) {
+  const uint64_t t0 = NowNs();
+  for (size_t i = from; i < to; i++) {
+    sketch->Observe(keys[i]);
+  }
+  return NowNs() - t0;
+}
+
+ScenarioResult RunObserveStream(double scale) {
+  constexpr size_t kCapacity = 8192;
+  const auto ops = static_cast<size_t>(4'000'000 * scale);
+  const size_t warm = ops / 10;
+  ScenarioResult out;
+  out.name = "observe_stream";
+
+  const std::vector<uint64_t> keys = MakeKeyStream(ops, 0x0b5e7fe5ULL);
+
+  SpaceSaving<uint64_t> opt(kCapacity);
+  TimeObserves(&opt, keys, 0, warm);
+  ResetAllocCounters();
+  out.wall_ns = TimeObserves(&opt, keys, warm, ops);
+  out.events = ops - warm;
+  out.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  out.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  g_sink ^= opt.total_observed() + opt.size();
+
+  SpaceSavingReference<uint64_t> ref(kCapacity);
+  TimeObserves(&ref, keys, 0, warm);
+  out.ref_wall_ns = TimeObserves(&ref, keys, warm, ops);
+  g_sink ^= ref.total_observed() + ref.size();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// decay_churn: the PartitionAgent decay timer against a full sampler —
+// bursts of observes punctuated by Decay(), which the seed rebuilt through a
+// fresh std::map and the rewrite relinks in place.
+// ---------------------------------------------------------------------------
+
+template <typename Sketch>
+uint64_t TimeDecayCycles(Sketch* sketch, const std::vector<uint64_t>& keys, size_t cycles,
+                         size_t burst) {
+  const uint64_t t0 = NowNs();
+  size_t at = 0;
+  for (size_t c = 0; c < cycles; c++) {
+    for (size_t i = 0; i < burst; i++) {
+      sketch->Observe(keys[at]);
+      at = at + 1 == keys.size() ? 0 : at + 1;
+    }
+    sketch->Decay();
+  }
+  return NowNs() - t0;
+}
+
+ScenarioResult RunDecayChurn(double scale) {
+  constexpr size_t kCapacity = 4096;
+  constexpr size_t kBurst = 2 * kCapacity;
+  const auto cycles = static_cast<size_t>(400 * scale);
+  constexpr size_t kWarmCycles = 4;
+  ScenarioResult out;
+  out.name = "decay_churn";
+
+  const std::vector<uint64_t> keys = MakeKeyStream(kBurst * 16, 0xdecafULL);
+
+  SpaceSaving<uint64_t> opt(kCapacity);
+  TimeDecayCycles(&opt, keys, kWarmCycles, kBurst);
+  ResetAllocCounters();
+  out.wall_ns = TimeDecayCycles(&opt, keys, cycles, kBurst);
+  out.events = cycles * (kBurst + 1);
+  out.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  out.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  g_sink ^= opt.total_observed() + opt.size();
+
+  SpaceSavingReference<uint64_t> ref(kCapacity);
+  TimeDecayCycles(&ref, keys, kWarmCycles, kBurst);
+  out.ref_wall_ns = TimeDecayCycles(&ref, keys, cycles, kBurst);
+  g_sink ^= ref.total_observed() + ref.size();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// plan_build: BuildPeerPlans over a 16-server power-law view. Events are
+// edge-scans (iterations x edges): the planner's work is linear in the
+// sampled edge set, so this is its natural unit cost.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+uint64_t TimePlanBuilds(Fn&& build, const LocalGraphView& view, const PairwiseConfig& config,
+                        size_t iterations) {
+  const uint64_t t0 = NowNs();
+  for (size_t i = 0; i < iterations; i++) {
+    const std::vector<PeerPlan> plans = build(view, config);
+    g_sink ^= plans.size() + (plans.empty() ? 0 : plans.front().candidates.size());
+  }
+  return NowNs() - t0;
+}
+
+ScenarioResult RunPlanBuild(double scale) {
+  const auto iterations = static_cast<size_t>(300 * scale);
+  constexpr size_t kWarm = 3;
+  ScenarioResult out;
+  out.name = "plan_build";
+
+  const LocalGraphView view = MakePowerLawView(/*self=*/0, /*num_servers=*/16,
+                                               /*per_server=*/4000, /*sampled=*/3000, 0x91a4ULL);
+  PairwiseConfig config;
+  config.candidate_set_size = 64;
+  config.balance_delta = 16;
+
+  const auto opt_build = [](const LocalGraphView& v, const PairwiseConfig& c) {
+    return BuildPeerPlans(v, c);
+  };
+  const auto ref_build = [](const LocalGraphView& v, const PairwiseConfig& c) {
+    return seedref::BuildPeerPlans(v, c);
+  };
+
+  TimePlanBuilds(opt_build, view, config, kWarm);
+  ResetAllocCounters();
+  out.wall_ns = TimePlanBuilds(opt_build, view, config, iterations);
+  out.events = iterations * CountEdges(view);
+  out.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  out.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+
+  TimePlanBuilds(ref_build, view, config, kWarm);
+  out.ref_wall_ns = TimePlanBuilds(ref_build, view, config, iterations);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// exchange_round: Alg. 1 end to end between two servers — p builds its plan,
+// ships it, q runs the greedy joint subset selection. One event = one round.
+// ---------------------------------------------------------------------------
+
+template <typename PlanFn, typename DecideFn>
+uint64_t TimeExchangeRounds(PlanFn&& plan_fn, DecideFn&& decide_fn, const LocalGraphView& p_view,
+                            const LocalGraphView& q_view, const PairwiseConfig& config,
+                            size_t rounds) {
+  const uint64_t t0 = NowNs();
+  for (size_t r = 0; r < rounds; r++) {
+    const std::vector<PeerPlan> plans = plan_fn(p_view, config);
+    const PeerPlan* toward_q = nullptr;
+    for (const PeerPlan& plan : plans) {
+      if (plan.peer == q_view.self) {
+        toward_q = &plan;
+        break;
+      }
+    }
+    if (toward_q == nullptr) {
+      continue;
+    }
+    ExchangeRequest request;
+    request.from = p_view.self;
+    request.from_num_vertices = p_view.num_local_vertices;
+    request.candidates = toward_q->candidates;
+    const ExchangeDecision decision = decide_fn(q_view, request, config);
+    g_sink ^= decision.accepted.size() + decision.counter_offer.size();
+  }
+  return NowNs() - t0;
+}
+
+ScenarioResult RunExchangeRound(double scale) {
+  const auto rounds = static_cast<size_t>(300 * scale);
+  constexpr size_t kWarm = 3;
+  ScenarioResult out;
+  out.name = "exchange_round";
+
+  const LocalGraphView p_view = MakePowerLawView(/*self=*/0, /*num_servers=*/2,
+                                                 /*per_server=*/3000, /*sampled=*/2500, 0xabcdULL);
+  const LocalGraphView q_view = MakePowerLawView(/*self=*/1, /*num_servers=*/2,
+                                                 /*per_server=*/3000, /*sampled=*/2500, 0xef01ULL);
+  PairwiseConfig config;
+  config.candidate_set_size = 64;
+  config.balance_delta = 16;
+
+  const auto opt_plan = [](const LocalGraphView& v, const PairwiseConfig& c) {
+    return BuildPeerPlans(v, c);
+  };
+  const auto opt_decide = [](const LocalGraphView& v, const ExchangeRequest& r,
+                             const PairwiseConfig& c) { return DecideExchange(v, r, c); };
+  const auto ref_plan = [](const LocalGraphView& v, const PairwiseConfig& c) {
+    return seedref::BuildPeerPlans(v, c);
+  };
+  const auto ref_decide = [](const LocalGraphView& v, const ExchangeRequest& r,
+                             const PairwiseConfig& c) { return seedref::DecideExchange(v, r, c); };
+
+  // One-time sanity: both paths must reach identical decisions on this
+  // instance (the golden/fuzz tests prove this broadly; this catches a
+  // mis-built benchmark input before anyone trusts the numbers).
+  {
+    const std::vector<PeerPlan> plans = BuildPeerPlans(p_view, config);
+    const std::vector<PeerPlan> ref_plans = seedref::BuildPeerPlans(p_view, config);
+    bool toward_q = false;
+    for (const PeerPlan& plan : plans) {
+      toward_q |= plan.peer == q_view.self && !plan.candidates.empty();
+    }
+    if (!toward_q || plans.size() != ref_plans.size()) {
+      std::fprintf(stderr, "bench_partition: degenerate exchange_round instance\n");
+      std::exit(2);
+    }
+    ExchangeRequest request;
+    request.from = p_view.self;
+    request.from_num_vertices = p_view.num_local_vertices;
+    request.candidates = plans.front().candidates;
+    const ExchangeDecision opt = DecideExchange(q_view, request, config);
+    const ExchangeDecision ref = seedref::DecideExchange(q_view, request, config);
+    if (opt.accepted != ref.accepted ||
+        opt.counter_offer.size() != ref.counter_offer.size()) {
+      std::fprintf(stderr, "bench_partition: optimized/seed decisions diverged\n");
+      std::exit(2);
+    }
+  }
+
+  TimeExchangeRounds(opt_plan, opt_decide, p_view, q_view, config, kWarm);
+  ResetAllocCounters();
+  out.wall_ns = TimeExchangeRounds(opt_plan, opt_decide, p_view, q_view, config, rounds);
+  out.events = rounds;
+  out.allocs = g_alloc_count.load(std::memory_order_relaxed);
+  out.bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+
+  TimeExchangeRounds(ref_plan, ref_decide, p_view, q_view, config, kWarm);
+  out.ref_wall_ns = TimeExchangeRounds(ref_plan, ref_decide, p_view, q_view, config, rounds);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Output & comparison (format shared with bench_engine; see EXPERIMENTS.md)
+// ---------------------------------------------------------------------------
+
+std::string ScenarioJson(const ScenarioResult& r, double speedup, bool have_ref) {
+  std::ostringstream os;
+  os << "    {\"name\": \"" << r.name << "\", \"events\": " << r.events
+     << ", \"wall_ns\": " << r.wall_ns;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", r.events_per_sec());
+  os << ", \"events_per_sec\": " << buf;
+  std::snprintf(buf, sizeof(buf), "%.2f", r.ns_per_event());
+  os << ", \"ns_per_event\": " << buf;
+  std::snprintf(buf, sizeof(buf), "%.4f", r.allocs_per_event());
+  os << ", \"allocs_per_event\": " << buf;
+  std::snprintf(buf, sizeof(buf), "%.1f", r.bytes_per_event());
+  os << ", \"bytes_per_event\": " << buf;
+  std::snprintf(buf, sizeof(buf), "%.3f", r.seed_impl_speedup());
+  os << ", \"speedup_vs_seed_impl\": " << buf;
+  if (have_ref) {
+    std::snprintf(buf, sizeof(buf), "%.3f", speedup);
+    os << ", \"speedup_vs_ref\": " << buf;
+  }
+  os << "}";
+  return os.str();
+}
+
+// Pulls `"key": <number>` out of a one-scenario-per-line JSON file for the
+// line whose "name" matches (same line-oriented contract as bench_engine).
+bool LookupRef(const std::string& ref_text, const std::string& name, const std::string& key,
+               double* value) {
+  std::istringstream in(ref_text);
+  std::string line;
+  const std::string name_tag = "\"name\": \"" + name + "\"";
+  const std::string key_tag = "\"" + key + "\": ";
+  while (std::getline(in, line)) {
+    const size_t at = line.find(name_tag);
+    if (at == std::string::npos) {
+      continue;
+    }
+    const size_t kat = line.find(key_tag);
+    if (kat == std::string::npos) {
+      return false;
+    }
+    *value = std::strtod(line.c_str() + kat + key_tag.size(), nullptr);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace actop
+
+int main(int argc, char** argv) {
+  using namespace actop;
+
+  std::string json_path;
+  std::string compare_path;
+  bool gate = false;
+  double threshold = 0.10;
+  double scale = 1.0;
+  for (int i = 1; i < argc; i++) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--compare=", 0) == 0) {
+      compare_path = arg.substr(10);
+    } else if (arg == "--gate") {
+      gate = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::strtod(arg.c_str() + 8, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_partition [--json=FILE] [--compare=FILE] [--gate] "
+                   "[--threshold=0.10] [--scale=1.0]\n");
+      return 2;
+    }
+  }
+
+  std::string ref_text;
+  if (!compare_path.empty()) {
+    std::ifstream in(compare_path);
+    if (!in) {
+      std::fprintf(stderr, "bench_partition: cannot read reference %s\n", compare_path.c_str());
+      return 2;
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    ref_text = os.str();
+  }
+
+  std::vector<ScenarioResult> results;
+  results.push_back(RunObserveStream(scale));
+  results.push_back(RunDecayChurn(scale));
+  results.push_back(RunPlanBuild(scale));
+  results.push_back(RunExchangeRound(scale));
+
+  // Acceptance headline: geomean in-binary speedup over the two scenarios
+  // the issue gates (observe-heavy sampling and the full exchange round).
+  double gate_geomean = 1.0;
+  int gate_terms = 0;
+  for (const ScenarioResult& r : results) {
+    if (r.name == "observe_stream" || r.name == "exchange_round") {
+      gate_geomean *= r.seed_impl_speedup();
+      gate_terms++;
+    }
+  }
+  gate_geomean = gate_terms > 0 ? std::pow(gate_geomean, 1.0 / gate_terms) : 0.0;
+
+  int regressions = 0;
+  std::ostringstream body;
+  body << "{\n  \"bench\": \"partition\",\n  \"schema_version\": 1,\n";
+#ifdef NDEBUG
+  body << "  \"assertions\": false,\n";
+#else
+  body << "  \"assertions\": true,\n";
+#endif
+  body << "  \"scale\": " << scale << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < results.size(); i++) {
+    const ScenarioResult& r = results[i];
+    double ref_eps = 0.0;
+    const bool have_ref =
+        !ref_text.empty() && LookupRef(ref_text, r.name, "events_per_sec", &ref_eps) &&
+        ref_eps > 0.0;
+    const double speedup = have_ref ? r.events_per_sec() / ref_eps : 0.0;
+    if (have_ref && speedup < 1.0 - threshold) {
+      regressions++;
+      std::fprintf(stderr, "PERF REGRESSION: %s %.0f events/s vs ref %.0f (x%.3f < %.3f)\n",
+                   r.name.c_str(), r.events_per_sec(), ref_eps, speedup, 1.0 - threshold);
+    }
+    body << ScenarioJson(r, speedup, have_ref);
+    body << (i + 1 < results.size() ? ",\n" : "\n");
+    const std::string suffix = have_ref ? " (x" + std::to_string(speedup) + " vs ref)" : "";
+    std::fprintf(stderr,
+                 "%-16s %12.0f events/s  %10.2f ns/event  %8.4f allocs/event  x%5.2f vs seed%s\n",
+                 r.name.c_str(), r.events_per_sec(), r.ns_per_event(), r.allocs_per_event(),
+                 r.seed_impl_speedup(), suffix.c_str());
+  }
+  body << "  ],\n";
+  {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", gate_geomean);
+    body << "  \"geomean_speedup_vs_seed_impl\": " << buf << "\n";
+  }
+  body << "}\n";
+  std::fprintf(stderr, "geomean speedup vs seed impls (observe_stream, exchange_round): x%.2f\n",
+               gate_geomean);
+  if (g_sink == 0xdeadbeef) {
+    std::fprintf(stderr, "sink\n");
+  }
+
+  const std::string text = body.str();
+  std::fputs(text.c_str(), stdout);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << text;
+  }
+  int failures = 0;
+  if (gate && regressions > 0) {
+    std::fprintf(stderr, "perf gate: %d scenario(s) regressed beyond %.0f%%\n", regressions,
+                 threshold * 100.0);
+    failures++;
+  }
+  if (gate && gate_geomean < 1.5) {
+    std::fprintf(stderr,
+                 "perf gate: geomean speedup vs seed impls x%.2f below the 1.5x floor\n",
+                 gate_geomean);
+    failures++;
+  }
+  return failures > 0 ? 1 : 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 test suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+# Builds the "asan" preset (build-asan/, ACTOP_SANITIZE=address, which the
+# toplevel CMakeLists maps to -fsanitize=address,undefined) and runs the full
+# ctest suite under it with leak detection on. Intended after any change to
+# manually-indexed data structures (the Stream-Summary sampler's slab links,
+# the indexed exchange heap, FlatHashMap probing): a stale index or
+# use-after-free that happens to read plausible bytes can slip past the
+# golden tests but not past ASan.
+#
+# Usage:
+#   scripts/check_asan.sh              # full tier-1 suite under ASan+UBSan
+#   scripts/check_asan.sh -R SpaceSav  # extra args forwarded to ctest
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan >/dev/null
+cmake --build build-asan -j >/dev/null
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+cd build-asan
+ctest --output-on-failure -j "$(nproc)" "$@"

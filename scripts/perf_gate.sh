@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
-# Perf-regression gate for the event engine and messaging hot path.
+# Perf-regression gate for the engine/messaging and partitioning hot paths.
 #
-# Builds bench_engine in Release mode, runs it, writes BENCH_engine.json at
-# the repo root, and — when a checked-in baseline exists — fails (exit 1) if
-# any scenario's events/sec regressed more than THRESHOLD (default 10%)
-# against bench/baselines/BENCH_engine.baseline.json.
+# Builds bench_engine and bench_partition in Release mode, runs both, writes
+# BENCH_engine.json and BENCH_partition.json at the repo root, and — when a
+# checked-in baseline exists — fails (exit 1) if any scenario's events/sec
+# regressed more than THRESHOLD (default 10%) against the corresponding file
+# in bench/baselines/. bench_partition additionally self-gates its in-binary
+# geomean speedup vs the retained seed implementations (1.5x floor).
 #
 # Usage:
-#   scripts/perf_gate.sh                 # gate against the checked-in baseline
+#   scripts/perf_gate.sh                 # gate against the checked-in baselines
 #   THRESHOLD=0.05 scripts/perf_gate.sh  # stricter gate
 #   SCALE=0.25 scripts/perf_gate.sh      # quicker run (smaller workloads);
 #                                        # throughput ratios stay comparable
 #
-# The same comparison runs in ctest under the "perf" configuration:
+# The same comparisons run in ctest under the "perf" configuration:
 #   ctest --preset perf        (or: ctest -C perf -L perf from a build dir)
-# Tier-1 `ctest` never runs it: wall-clock throughput is machine-dependent,
+# Tier-1 `ctest` never runs them: wall-clock throughput is machine-dependent,
 # so the gate is opt-in for perf work and CI perf jobs only.
 
 set -euo pipefail
@@ -24,18 +26,27 @@ cd "$(dirname "$0")/.."
 THRESHOLD="${THRESHOLD:-0.10}"
 SCALE="${SCALE:-1.0}"
 BUILD_DIR="${BUILD_DIR:-build-release}"
-BASELINE="bench/baselines/BENCH_engine.baseline.json"
-OUT="BENCH_engine.json"
 
 cmake --preset release >/dev/null
-cmake --build "${BUILD_DIR}" --target bench_engine -j >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_engine --target bench_partition -j >/dev/null
 
-GATE_ARGS=(--json="${OUT}" --scale="${SCALE}")
-if [[ -f "${BASELINE}" ]]; then
-  GATE_ARGS+=(--compare="${BASELINE}" --gate --threshold="${THRESHOLD}")
-else
-  echo "perf_gate: no baseline at ${BASELINE}; recording ${OUT} without gating" >&2
-fi
+status=0
+run_gate() {
+  local bench="$1"
+  local baseline="bench/baselines/BENCH_${bench}.baseline.json"
+  local out="BENCH_${bench}.json"
+  local args=(--json="${out}" --scale="${SCALE}")
+  if [[ -f "${baseline}" ]]; then
+    args+=(--compare="${baseline}" --gate --threshold="${THRESHOLD}")
+  else
+    echo "perf_gate: no baseline at ${baseline}; recording ${out} without gating" >&2
+  fi
+  if ! "${BUILD_DIR}/bench/bench_${bench}" "${args[@]}"; then
+    status=1
+  fi
+  echo "perf_gate: wrote ${out}"
+}
 
-"${BUILD_DIR}/bench/bench_engine" "${GATE_ARGS[@]}"
-echo "perf_gate: wrote ${OUT}"
+run_gate engine
+run_gate partition
+exit "${status}"

@@ -1,0 +1,195 @@
+// Indexed max-heap for the greedy joint subset selection in DecideExchange.
+//
+// The seed used a lazy-deletion std::priority_queue plus two unordered_maps
+// per side (`current` for live scores, `candidates` for payload pointers):
+// every score update pushed a new heap entry and left the old one to be
+// skipped at the next PeekTop. This replaces all three with one slab of
+// slots, a FlatHashMap vertex->slot index, and a binary heap of slot ids
+// with true increase/decrease-key — Update sifts the slot in place, so the
+// heap never holds stale entries and PeekTop is O(1).
+//
+// Ordering is load-bearing for deterministic replay: the seed's
+// priority_queue<pair<double, VertexId>> compared pairs lexicographically,
+// i.e. max (score, vertex) — score ties go to the larger vertex id. Higher()
+// reproduces exactly that total order (candidate vertices are unique after
+// Init's last-wins dedup), so the greedy pick sequence is identical to seed.
+// Duplicate vertices in Init replicate the seed's map-overwrite semantics:
+// the last candidate's score and payload win.
+
+#ifndef SRC_CORE_EXCHANGE_HEAP_H_
+#define SRC_CORE_EXCHANGE_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/flat_hash_map.h"
+#include "src/core/pairwise_partition.h"
+
+namespace actop {
+
+class ExchangeHeap {
+ public:
+  static constexpr int32_t kRemoved = -1;
+
+  struct Slot {
+    VertexId vertex = 0;
+    double score = 0.0;
+    const Candidate* candidate = nullptr;
+    int32_t heap_pos = kRemoved;
+  };
+
+  template <typename ScoreFn>
+  void Init(const std::vector<Candidate>& cands, ScoreFn&& score_fn) {
+    slots_.reserve(cands.size());
+    heap_.reserve(cands.size());
+    for (const Candidate& c : cands) {
+      const double s = score_fn(c);
+      if (const int32_t* found = index_.Find(c.vertex)) {
+        // Duplicate offer: last candidate wins wholesale (seed overwrote
+        // both current[v] and candidates[v]).
+        slots_[*found].candidate = &c;
+        Rekey(*found, s);
+        continue;
+      }
+      const auto slot = static_cast<int32_t>(slots_.size());
+      slots_.push_back(Slot{c.vertex, s, &c, static_cast<int32_t>(heap_.size())});
+      heap_.push_back(slot);
+      index_.Insert(c.vertex, slot);
+      SiftUp(slots_[slot].heap_pos);
+    }
+  }
+
+  // Live maximum by (score, vertex), without popping.
+  bool PeekTop(VertexId* v, double* score) const {
+    if (heap_.empty()) {
+      return false;
+    }
+    const Slot& s = slots_[heap_[0]];
+    *v = s.vertex;
+    *score = s.score;
+    return true;
+  }
+
+  // Drops `v` from the live heap. Its slot (and candidate payload) stays
+  // addressable — the selection loop still scores edges against moved
+  // vertices' neighbors via slots().
+  void Remove(VertexId v) {
+    int32_t* found = index_.Find(v);
+    ACTOP_DCHECK(found != nullptr);
+    Slot& s = slots_[*found];
+    if (s.heap_pos == kRemoved) {
+      return;
+    }
+    const int32_t pos = s.heap_pos;
+    s.heap_pos = kRemoved;
+    const int32_t last = heap_.back();
+    heap_.pop_back();
+    if (pos < static_cast<int32_t>(heap_.size())) {
+      heap_[pos] = last;
+      slots_[last].heap_pos = pos;
+      SiftDown(pos);
+      SiftUp(slots_[last].heap_pos);
+    }
+  }
+
+  // Adds `delta` to v's score, sifting in place. No-op for absent or removed
+  // vertices (matches the seed's `current` miss).
+  void Update(VertexId v, double delta) {
+    const int32_t* found = index_.Find(v);
+    if (found == nullptr) {
+      return;
+    }
+    Slot& s = slots_[*found];
+    if (s.heap_pos == kRemoved) {
+      return;
+    }
+    s.score += delta;
+    if (delta > 0.0) {
+      SiftUp(s.heap_pos);
+    } else {
+      SiftDown(s.heap_pos);
+    }
+  }
+
+  const Candidate* CandidateOf(VertexId v) const {
+    const int32_t* found = index_.Find(v);
+    ACTOP_CHECK(found != nullptr);
+    return slots_[*found].candidate;
+  }
+
+  // All slots in Init order, including removed ones (heap_pos == kRemoved).
+  const std::vector<Slot>& slots() const { return slots_; }
+  static bool Live(const Slot& s) { return s.heap_pos != kRemoved; }
+
+ private:
+  // Strict "a outranks b": lexicographic max on (score, vertex) — exactly
+  // std::pair<double, VertexId>'s operator< as used by the seed's heap.
+  bool Higher(int32_t a, int32_t b) const {
+    const Slot& x = slots_[a];
+    const Slot& y = slots_[b];
+    if (x.score != y.score) {
+      return x.score > y.score;
+    }
+    return x.vertex > y.vertex;
+  }
+
+  void SiftUp(int32_t pos) {
+    const int32_t slot = heap_[pos];
+    while (pos > 0) {
+      const int32_t parent = (pos - 1) / 2;
+      if (!Higher(slot, heap_[parent])) {
+        break;
+      }
+      heap_[pos] = heap_[parent];
+      slots_[heap_[pos]].heap_pos = pos;
+      pos = parent;
+    }
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = pos;
+  }
+
+  void SiftDown(int32_t pos) {
+    const int32_t slot = heap_[pos];
+    const auto n = static_cast<int32_t>(heap_.size());
+    while (true) {
+      int32_t best = 2 * pos + 1;
+      if (best >= n) {
+        break;
+      }
+      if (best + 1 < n && Higher(heap_[best + 1], heap_[best])) {
+        best++;
+      }
+      if (!Higher(heap_[best], slot)) {
+        break;
+      }
+      heap_[pos] = heap_[best];
+      slots_[heap_[pos]].heap_pos = pos;
+      pos = best;
+    }
+    heap_[pos] = slot;
+    slots_[slot].heap_pos = pos;
+  }
+
+  void Rekey(int32_t slot, double score) {
+    Slot& s = slots_[slot];
+    const double old = s.score;
+    s.score = score;
+    if (s.heap_pos == kRemoved) {
+      return;
+    }
+    if (score > old) {
+      SiftUp(s.heap_pos);
+    } else if (score < old) {
+      SiftDown(s.heap_pos);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<int32_t> heap_;  // heap of slot ids
+  FlatHashMap<VertexId, int32_t> index_;
+};
+
+}  // namespace actop
+
+#endif  // SRC_CORE_EXCHANGE_HEAP_H_

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <functional>
 #include <queue>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/core/exchange_heap.h"
 
 namespace actop {
 
@@ -107,10 +107,12 @@ Candidate MakeCandidate(const LocalGraphView& view, VertexId v, double score) {
   c.size = view.SizeOf(v);
   const auto it = view.adjacency.find(v);
   ACTOP_CHECK(it != view.adjacency.end());
-  c.edges.reserve(it->second.size());
+  std::vector<CandidateAdjacency::value_type> edges;
+  edges.reserve(it->second.size());
   for (const auto& [u, w] : it->second) {
-    c.edges.emplace(u, CandidateEdge{w, view.LocationOf(u)});
+    edges.emplace_back(u, CandidateEdge{w, view.LocationOf(u)});
   }
+  c.edges.bulk_assign(std::move(edges));
   return c;
 }
 
@@ -119,16 +121,32 @@ Candidate MakeCandidate(const LocalGraphView& view, VertexId v, double score) {
 std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseConfig& config) {
   // Per-vertex, per-server weight sums in one pass over the sampled edges.
   std::unordered_map<ServerId, TopK> per_peer;
+  // Remote server -> summed weight of the current vertex's edges into it.
+  // One reused vector with linear scan instead of a fresh hash map per
+  // vertex: the entry count is bounded by the server count, which is tiny
+  // next to the hash-node allocations this used to cost. Accumulation order
+  // per server is unchanged (driven by the adjacency iteration), so sums are
+  // bit-identical.
+  std::vector<std::pair<ServerId, double>> remote_weight;
   for (const auto& [v, adj] : view.adjacency) {
     double local_weight = 0.0;
-    // remote server -> summed weight of v's edges into it
-    std::unordered_map<ServerId, double> remote_weight;
+    remote_weight.clear();
     for (const auto& [u, w] : adj) {
       const ServerId loc = view.LocationOf(u);
       if (loc == view.self) {
         local_weight += w;
       } else if (loc != kNoServer) {
-        remote_weight[loc] += w;
+        bool found = false;
+        for (auto& [server, weight] : remote_weight) {
+          if (server == loc) {
+            weight += w;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          remote_weight.emplace_back(loc, w);
+        }
       }
     }
     for (const auto& [server, weight] : remote_weight) {
@@ -170,51 +188,6 @@ std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseC
 }
 
 namespace {
-
-// State for the greedy joint subset selection (lazy-deletion max-heaps).
-struct GreedyHeap {
-  // (score, vertex) max-heap.
-  std::priority_queue<std::pair<double, VertexId>> heap;
-  std::unordered_map<VertexId, double> current;  // live scores
-  std::unordered_map<VertexId, const Candidate*> candidates;
-
-  void Init(const std::vector<Candidate>& cands,
-            const std::function<double(const Candidate&)>& score_fn) {
-    for (const Candidate& c : cands) {
-      const double s = score_fn(c);
-      current[c.vertex] = s;
-      candidates[c.vertex] = &c;
-      heap.emplace(s, c.vertex);
-    }
-  }
-
-  // Returns the live top without popping, skipping stale entries.
-  bool PeekTop(VertexId* v, double* score) {
-    while (!heap.empty()) {
-      const auto [s, vertex] = heap.top();
-      auto it = current.find(vertex);
-      if (it == current.end() || it->second != s) {
-        heap.pop();  // stale or already taken
-        continue;
-      }
-      *v = vertex;
-      *score = s;
-      return true;
-    }
-    return false;
-  }
-
-  void Remove(VertexId v) { current.erase(v); }
-
-  void Update(VertexId v, double delta) {
-    auto it = current.find(v);
-    if (it == current.end()) {
-      return;
-    }
-    it->second += delta;
-    heap.emplace(it->second, v);
-  }
-};
 
 double EdgeWeightBetween(const Candidate& a, const Candidate& b) {
   if (auto it = a.edges.find(b.vertex); it != a.edges.end()) {
@@ -264,8 +237,11 @@ ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeReques
   };
   auto score_t = [&](const Candidate& c) { return c.score; };  // computed on view already
 
-  GreedyHeap s_heap;
-  GreedyHeap t_heap;
+  // Indexed max-heaps (src/core/exchange_heap.h): same (score, vertex)
+  // ordering as the seed's lazy-deletion priority_queue, but score updates
+  // sift in place, so the selection loop never walks stale entries.
+  ExchangeHeap s_heap;
+  ExchangeHeap t_heap;
   s_heap.Init(request.candidates, score_s);
   t_heap.Init(t_candidates, score_t);
 
@@ -291,9 +267,9 @@ ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeReques
     // contribution to u's transfer score by 2w — same-side candidates gain,
     // opposite-side candidates lose.
     auto apply_move = [&](bool from_s) {
-      GreedyHeap& from = from_s ? s_heap : t_heap;
+      ExchangeHeap& from = from_s ? s_heap : t_heap;
       const VertexId moved = from_s ? sv : tv;
-      const Candidate* moved_candidate = from.candidates.at(moved);
+      const Candidate* moved_candidate = from.CandidateOf(moved);
       const double moved_size = moved_candidate->size;
       if (from_s) {
         decision.accepted.push_back(moved);
@@ -306,22 +282,22 @@ ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeReques
         size_p += moved_size;
         size_q -= moved_size;
       }
-      for (auto& [v, cand] : s_heap.candidates) {
-        if (v == moved || !s_heap.current.contains(v)) {
+      for (const ExchangeHeap::Slot& slot : s_heap.slots()) {
+        if (slot.vertex == moved || !ExchangeHeap::Live(slot)) {
           continue;
         }
-        const double w = EdgeWeightBetween(*cand, *moved_candidate);
+        const double w = EdgeWeightBetween(*slot.candidate, *moved_candidate);
         if (w > 0.0) {
-          s_heap.Update(v, from_s ? +2.0 * w : -2.0 * w);
+          s_heap.Update(slot.vertex, from_s ? +2.0 * w : -2.0 * w);
         }
       }
-      for (auto& [v, cand] : t_heap.candidates) {
-        if (v == moved || !t_heap.current.contains(v)) {
+      for (const ExchangeHeap::Slot& slot : t_heap.slots()) {
+        if (slot.vertex == moved || !ExchangeHeap::Live(slot)) {
           continue;
         }
-        const double w = EdgeWeightBetween(*cand, *moved_candidate);
+        const double w = EdgeWeightBetween(*slot.candidate, *moved_candidate);
         if (w > 0.0) {
-          t_heap.Update(v, from_s ? -2.0 * w : +2.0 * w);
+          t_heap.Update(slot.vertex, from_s ? -2.0 * w : +2.0 * w);
         }
       }
     };
@@ -337,9 +313,9 @@ ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeReques
       take_s = has_s;
     }
     const bool s_fits =
-        has_s && config.BalanceAllows(size_p, size_q, s_heap.candidates.at(sv)->size);
+        has_s && config.BalanceAllows(size_p, size_q, s_heap.CandidateOf(sv)->size);
     const bool t_fits =
-        has_t && config.BalanceAllows(size_q, size_p, t_heap.candidates.at(tv)->size);
+        has_t && config.BalanceAllows(size_q, size_p, t_heap.CandidateOf(tv)->size);
     if (take_s && !s_fits) {
       take_s = false;
     }
@@ -347,11 +323,11 @@ ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeReques
       if (s_fits) {
         take_s = true;
       } else if (has_s && has_t &&
-                 (s_heap.candidates.at(sv)->size >= t_heap.candidates.at(tv)->size
-                      ? config.BalanceAllows(size_p, size_q, s_heap.candidates.at(sv)->size -
-                                                                 t_heap.candidates.at(tv)->size)
-                      : config.BalanceAllows(size_q, size_p, t_heap.candidates.at(tv)->size -
-                                                                 s_heap.candidates.at(sv)->size))) {
+                 (s_heap.CandidateOf(sv)->size >= t_heap.CandidateOf(tv)->size
+                      ? config.BalanceAllows(size_p, size_q, s_heap.CandidateOf(sv)->size -
+                                                                 t_heap.CandidateOf(tv)->size)
+                      : config.BalanceAllows(size_q, size_p, t_heap.CandidateOf(tv)->size -
+                                                                 s_heap.CandidateOf(sv)->size))) {
         // A paired swap only shifts the size difference; balance must allow
         // that net shift (always true for uniform actors).
         // Paired swap (net size change zero). Evaluate the pair BEFORE
@@ -359,8 +335,8 @@ ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeReques
         // second's score drops by 2·w(sv, tv) if they share an edge. Both
         // halves must remain individually profitable so the swap strictly
         // reduces cost and the balance invariant holds.
-        const Candidate* s_cand = s_heap.candidates.at(sv);
-        const Candidate* t_cand = t_heap.candidates.at(tv);
+        const Candidate* s_cand = s_heap.CandidateOf(sv);
+        const Candidate* t_cand = t_heap.CandidateOf(tv);
         const double cross = EdgeWeightBetween(*s_cand, *t_cand);
         const double adj_s = s_score - 2.0 * cross;
         const double adj_t = t_score - 2.0 * cross;

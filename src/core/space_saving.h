@@ -1,4 +1,5 @@
-// Space-Saving stream sampling (Metwally, Agrawal, El Abbadi — ICDT 2005).
+// Space-Saving stream sampling (Metwally, Agrawal, El Abbadi — ICDT 2005),
+// backed by the classic Stream-Summary structure from the same paper.
 //
 // Each server applies this to its stream of observed communication edges to
 // maintain a constant-size list of the heaviest edges (§4.3 of the paper):
@@ -8,16 +9,38 @@
 // Guarantees (classic Space-Saving): with capacity m after N observations,
 // every key with true count > N/m is present, and every reported count
 // over-estimates the true count by at most its recorded `error` <= N/m.
+//
+// Structure: counter nodes live in an index-stable slab (`nodes_`), a
+// FlatHashMap maps key -> slab slot, and nodes with equal count are chained
+// into per-count buckets that themselves form an intrusive doubly-linked
+// list ordered by ascending count (`min_bucket_` is the head). A unit
+// increment moves a node at most one bucket forward and min-eviction pops
+// the tail of the head bucket, so Observe is O(1) for unit increments
+// (O(#distinct-counts-skipped) for weighted ones) and allocation-free once
+// the slabs are warm. Decay() halves counts with a single in-place relink
+// pass — monotone halving keeps the bucket chain sorted — instead of the
+// seed's full std::map rebuild.
+//
+// Decision compatibility with the seed implementation is load-bearing for
+// deterministic replay: the seed kept each bucket as a vector, attached with
+// push_back, detached with swap-remove (vec[i] = vec.back(); pop_back()) and
+// evicted vec.back() of the minimum bucket. The intrusive list reproduces
+// that order exactly — Attach appends at the tail, Detach pops the tail and,
+// if the popped node isn't the one being detached, splices it into the
+// detached node's former position, and the eviction victim is the tail of
+// the minimum bucket. tests/core/space_saving_fuzz_test.cc pins this down
+// with per-operation digests against goldens from the seed binary and
+// differentially against space_saving_reference.h.
 
 #ifndef SRC_CORE_SPACE_SAVING_H_
 #define SRC_CORE_SPACE_SAVING_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/flat_hash_map.h"
 
 namespace actop {
 
@@ -35,105 +58,275 @@ class SpaceSaving {
   // Observes `key` with the given increment (e.g. message count or bytes).
   void Observe(const Key& key, uint64_t increment = 1) {
     total_ += increment;
-    auto it = counters_.find(key);
-    if (it != counters_.end()) {
-      Detach(it->second.count, key);
-      it->second.count += increment;
-      Attach(it->second.count, key);
+    if (const int32_t* slot = index_.Find(key)) {
+      const int32_t n = *slot;
+      const int32_t bucket = nodes_[n].bucket;
+      // Detach may free the node's bucket; remember its predecessor so the
+      // relink search can still start from the node's old position.
+      const int32_t bucket_prev = buckets_[bucket].prev;
+      const bool emptied = Detach(n);
+      nodes_[n].count += increment;
+      Place(n, emptied ? bucket_prev : bucket);
       return;
     }
-    if (counters_.size() < capacity_) {
-      counters_.emplace(key, Counter{increment, 0});
-      Attach(increment, key);
+    if (size_ < capacity_) {
+      const int32_t n = AllocNode();
+      nodes_[n].key = key;
+      nodes_[n].count = increment;
+      nodes_[n].error = 0;
+      Place(n, kNil);
+      index_.Insert(key, n);
+      size_++;
       return;
     }
-    // Evict the minimum-count key and inherit its count as error.
-    auto min_bucket = buckets_.begin();
-    ACTOP_CHECK(min_bucket != buckets_.end());
-    const uint64_t min_count = min_bucket->first;
-    const Key victim = min_bucket->second.back();
-    Detach(min_count, victim);
-    counters_.erase(victim);
-    counters_.emplace(key, Counter{min_count + increment, min_count});
-    Attach(min_count + increment, key);
+    // Evict the minimum-count key and inherit its count as error. The victim
+    // is the tail of the minimum bucket (the seed's min_bucket->second.back()).
+    ACTOP_DCHECK(min_bucket_ != kNil);
+    const int32_t mb = min_bucket_;
+    const uint64_t min_count = buckets_[mb].count;
+    const int32_t victim = buckets_[mb].tail;
+    const bool emptied = Detach(victim);
+    index_.Erase(nodes_[victim].key);
+    nodes_[victim].key = key;
+    nodes_[victim].count = min_count + increment;
+    nodes_[victim].error = min_count;
+    Place(victim, emptied ? kNil : mb);
+    index_.Insert(key, victim);
   }
 
-  // All tracked entries, unordered. Size <= capacity.
+  // All tracked entries. Size <= capacity. Order is unspecified (currently
+  // ascending count with arbitrary tie order) — use SortedEntries() when a
+  // deterministic ranking is needed.
   std::vector<Entry> Entries() const {
     std::vector<Entry> out;
-    out.reserve(counters_.size());
-    for (const auto& [key, counter] : counters_) {
-      out.push_back(Entry{key, counter.count, counter.error});
+    out.reserve(size_);
+    for (int32_t b = min_bucket_; b != kNil; b = buckets_[b].next) {
+      for (int32_t n = buckets_[b].head; n != kNil; n = nodes_[n].next) {
+        out.push_back(Entry{nodes_[n].key, nodes_[n].count, nodes_[n].error});
+      }
     }
+    return out;
+  }
+
+  // Entries ranked heaviest-first: count descending, key ascending on ties.
+  // Only instantiable for Keys with operator< (ids in this codebase).
+  std::vector<Entry> SortedEntries() const {
+    std::vector<Entry> out = Entries();
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      if (a.count != b.count) return a.count > b.count;
+      return a.key < b.key;
+    });
     return out;
   }
 
   // Estimated count for a key (0 if not tracked).
   uint64_t EstimateCount(const Key& key) const {
-    auto it = counters_.find(key);
-    return it == counters_.end() ? 0 : it->second.count;
+    const int32_t* slot = index_.Find(key);
+    return slot == nullptr ? 0 : nodes_[*slot].count;
   }
 
-  bool Contains(const Key& key) const { return counters_.contains(key); }
+  bool Contains(const Key& key) const { return index_.Find(key) != nullptr; }
 
   // Total of all observed increments (N).
   uint64_t total_observed() const { return total_; }
-  size_t size() const { return counters_.size(); }
+  size_t size() const { return size_; }
   size_t capacity() const { return capacity_; }
 
   // Halves every counter (and error), dropping keys that reach zero. Called
   // periodically so that stale edges of a changing communication graph decay
-  // instead of occupying capacity forever.
+  // instead of occupying capacity forever. One relink pass: nodes are walked
+  // in ascending-count order, and since halving is monotone the rebuilt
+  // chain is produced by appending to its tail — no searching, no tree.
   void Decay() {
-    buckets_.clear();
     total_ /= 2;
-    for (auto it = counters_.begin(); it != counters_.end();) {
-      it->second.count /= 2;
-      it->second.error /= 2;
-      if (it->second.count == 0) {
-        it = counters_.erase(it);
-      } else {
-        Attach(it->second.count, it->first);
-        ++it;
+    if (size_ == 0) {
+      return;
+    }
+    decay_scratch_.clear();
+    for (int32_t b = min_bucket_; b != kNil; b = buckets_[b].next) {
+      for (int32_t n = buckets_[b].head; n != kNil; n = nodes_[n].next) {
+        decay_scratch_.push_back(n);
       }
+      free_buckets_.push_back(b);  // links stay valid until reused below
+    }
+    min_bucket_ = kNil;
+    int32_t tail_bucket = kNil;
+    for (const int32_t n : decay_scratch_) {
+      Node& node = nodes_[n];
+      node.count /= 2;
+      node.error /= 2;
+      if (node.count == 0) {
+        index_.Erase(node.key);
+        free_nodes_.push_back(n);
+        size_--;
+        continue;
+      }
+      if (tail_bucket == kNil || buckets_[tail_bucket].count != node.count) {
+        ACTOP_DCHECK(tail_bucket == kNil || buckets_[tail_bucket].count < node.count);
+        tail_bucket = AllocBucket(node.count, tail_bucket, kNil);
+      }
+      Append(tail_bucket, n);
     }
   }
 
   void Clear() {
-    counters_.clear();
+    nodes_.clear();
+    free_nodes_.clear();
     buckets_.clear();
+    free_buckets_.clear();
+    min_bucket_ = kNil;
+    index_.Clear();
     total_ = 0;
+    size_ = 0;
   }
 
  private:
-  struct Counter {
-    uint64_t count;
-    uint64_t error;
+  static constexpr int32_t kNil = -1;
+
+  struct Node {
+    Key key{};
+    uint64_t count = 0;
+    uint64_t error = 0;
+    int32_t prev = kNil;  // within-bucket chain; head..tail mirrors the
+    int32_t next = kNil;  // seed's bucket vector order (tail == back()).
+    int32_t bucket = kNil;
   };
 
-  void Attach(uint64_t count, const Key& key) { buckets_[count].push_back(key); }
+  struct Bucket {
+    uint64_t count = 0;
+    int32_t head = kNil;
+    int32_t tail = kNil;
+    int32_t prev = kNil;  // bucket chain, ascending count;
+    int32_t next = kNil;  // min_bucket_ is the head.
+  };
 
-  void Detach(uint64_t count, const Key& key) {
-    auto it = buckets_.find(count);
-    ACTOP_CHECK(it != buckets_.end());
-    auto& vec = it->second;
-    for (size_t i = 0; i < vec.size(); i++) {
-      if (vec[i] == key) {
-        vec[i] = vec.back();
-        vec.pop_back();
-        break;
+  int32_t AllocNode() {
+    if (!free_nodes_.empty()) {
+      const int32_t n = free_nodes_.back();
+      free_nodes_.pop_back();
+      return n;
+    }
+    nodes_.emplace_back();
+    return static_cast<int32_t>(nodes_.size()) - 1;
+  }
+
+  int32_t AllocBucket(uint64_t count, int32_t prev, int32_t next) {
+    int32_t b;
+    if (!free_buckets_.empty()) {
+      b = free_buckets_.back();
+      free_buckets_.pop_back();
+    } else {
+      buckets_.emplace_back();
+      b = static_cast<int32_t>(buckets_.size()) - 1;
+    }
+    Bucket& bk = buckets_[b];
+    bk.count = count;
+    bk.head = bk.tail = kNil;
+    bk.prev = prev;
+    bk.next = next;
+    if (prev != kNil) {
+      buckets_[prev].next = b;
+    } else {
+      min_bucket_ = b;
+    }
+    if (next != kNil) {
+      buckets_[next].prev = b;
+    }
+    return b;
+  }
+
+  void FreeBucket(int32_t b) {
+    Bucket& bk = buckets_[b];
+    if (bk.prev != kNil) {
+      buckets_[bk.prev].next = bk.next;
+    } else {
+      min_bucket_ = bk.next;
+    }
+    if (bk.next != kNil) {
+      buckets_[bk.next].prev = bk.prev;
+    }
+    free_buckets_.push_back(b);
+  }
+
+  // Seed Attach == push_back: append at the bucket tail.
+  void Append(int32_t b, int32_t n) {
+    Node& node = nodes_[n];
+    node.bucket = b;
+    node.next = kNil;
+    node.prev = buckets_[b].tail;
+    if (node.prev != kNil) {
+      nodes_[node.prev].next = n;
+    } else {
+      buckets_[b].head = n;
+    }
+    buckets_[b].tail = n;
+  }
+
+  // Seed Detach == swap-remove (vec[i] = vec.back(); pop_back()): pop the
+  // bucket's tail, and if that wasn't `n`, splice it into n's old position.
+  // Frees the bucket if it empties; returns whether it did.
+  bool Detach(int32_t n) {
+    const int32_t b = nodes_[n].bucket;
+    Bucket& bk = buckets_[b];
+    const int32_t tail = bk.tail;
+    const int32_t tail_prev = nodes_[tail].prev;
+    bk.tail = tail_prev;
+    if (tail_prev != kNil) {
+      nodes_[tail_prev].next = kNil;
+    } else {
+      bk.head = kNil;
+    }
+    if (tail != n) {
+      // nodes_[n].next was just nulled if the tail sat directly after n.
+      const int32_t np = nodes_[n].prev;
+      const int32_t nn = nodes_[n].next;
+      nodes_[tail].prev = np;
+      nodes_[tail].next = nn;
+      if (np != kNil) {
+        nodes_[np].next = tail;
+      } else {
+        bk.head = tail;
+      }
+      if (nn != kNil) {
+        nodes_[nn].prev = tail;
+      } else {
+        bk.tail = tail;
       }
     }
-    if (vec.empty()) {
-      buckets_.erase(it);
+    if (bk.head == kNil) {
+      FreeBucket(b);
+      return true;
     }
+    return false;
+  }
+
+  // Appends node `n` (already detached, count updated) to the bucket holding
+  // its count, creating the bucket if missing. The search walks the chain
+  // forward from `pred` (kNil = from min_bucket_); for unit increments from
+  // the node's old bucket this is at most one step.
+  void Place(int32_t n, int32_t pred) {
+    const uint64_t target = nodes_[n].count;
+    int32_t succ = pred == kNil ? min_bucket_ : buckets_[pred].next;
+    while (succ != kNil && buckets_[succ].count < target) {
+      pred = succ;
+      succ = buckets_[succ].next;
+    }
+    const int32_t b = (succ != kNil && buckets_[succ].count == target)
+                          ? succ
+                          : AllocBucket(target, pred, succ);
+    Append(b, n);
   }
 
   size_t capacity_;
+  size_t size_ = 0;
   uint64_t total_ = 0;
-  std::unordered_map<Key, Counter, Hash> counters_;
-  // count -> keys with that count; begin() is the minimum (eviction victim).
-  std::map<uint64_t, std::vector<Key>> buckets_;
+  std::vector<Node> nodes_;          // slab; grows lazily up to capacity_
+  std::vector<int32_t> free_nodes_;  // slots freed by Decay
+  std::vector<Bucket> buckets_;
+  std::vector<int32_t> free_buckets_;
+  std::vector<int32_t> decay_scratch_;
+  int32_t min_bucket_ = kNil;
+  FlatHashMap<Key, int32_t, Hash> index_;
 };
 
 }  // namespace actop

@@ -19,6 +19,7 @@ StreamingPartitioner::StreamingPartitioner(int servers, int64_t expected_vertice
   ACTOP_CHECK(expected_vertices >= 1);
   ACTOP_CHECK(config.capacity_slack >= 1.0);
   sizes_.assign(static_cast<size_t>(servers), 0);
+  neighbor_weight_.assign(static_cast<size_t>(servers), 0.0);
   // Fennel's α = m·k^(γ−1)/n^γ balances the edge and load terms.
   const double n = static_cast<double>(expected_vertices);
   const double m = std::max<double>(1.0, static_cast<double>(expected_edges));
@@ -54,12 +55,13 @@ ServerId StreamingPartitioner::Place(VertexId v, const VertexAdjacency& neighbor
   if (config_.heuristic == StreamingHeuristic::kHashing) {
     chosen = static_cast<ServerId>(rng_.NextBounded(static_cast<uint64_t>(servers_)));
   } else {
-    // Weight of already-placed neighbors per part.
-    std::vector<double> neighbor_weight(static_cast<size_t>(servers_), 0.0);
+    // Weight of already-placed neighbors per part (member scratch; placement
+    // math is unchanged, only the per-call allocation is gone).
+    std::fill(neighbor_weight_.begin(), neighbor_weight_.end(), 0.0);
     for (const auto& [u, w] : neighbors) {
       const ServerId loc = LocationOf(u);
       if (loc != kNoServer) {
-        neighbor_weight[static_cast<size_t>(loc)] += w;
+        neighbor_weight_[static_cast<size_t>(loc)] += w;
       }
     }
     double best = -1e300;
@@ -67,7 +69,7 @@ ServerId StreamingPartitioner::Place(VertexId v, const VertexAdjacency& neighbor
       if (static_cast<double>(sizes_[static_cast<size_t>(s)]) >= capacity_) {
         continue;  // hard capacity bound
       }
-      const double score = ScoreFor(s, neighbor_weight[static_cast<size_t>(s)]);
+      const double score = ScoreFor(s, neighbor_weight_[static_cast<size_t>(s)]);
       // Ties break toward the lighter part for stability.
       if (score > best ||
           (score == best && chosen != kNoServer &&

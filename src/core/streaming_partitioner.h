@@ -70,6 +70,9 @@ class StreamingPartitioner {
   Rng rng_;
   std::unordered_map<VertexId, ServerId> assignment_;
   std::vector<int64_t> sizes_;
+  // Per-part neighbor-weight scratch for Place(): sized once to servers_ and
+  // re-zeroed per call instead of a fresh heap allocation per placement.
+  std::vector<double> neighbor_weight_;
 };
 
 }  // namespace actop

@@ -32,7 +32,14 @@ void PartitionAgent::Start() {
     }
     round_timer_ = sim_->SchedulePeriodic(config_.exchange_period, [this] { RunRound(); });
   });
-  decay_timer_ = sim_->SchedulePeriodic(config_.edge_decay_period, [this] { edges_.Decay(); });
+  decay_timer_ = sim_->SchedulePeriodic(config_.edge_decay_period, [this] {
+    // Idle servers (nothing sampled) skip the decay pass entirely. The only
+    // state this leaves un-halved is the sketch's total-observed counter,
+    // which nothing downstream reads when the sketch is empty.
+    if (edges_.size() != 0) {
+      edges_.Decay();
+    }
+  });
 }
 
 void PartitionAgent::Stop() {
@@ -101,6 +108,15 @@ void PartitionAgent::RunRound() {
     exchange_in_flight_ = false;
   }
   rounds_initiated_++;
+  if (edges_.size() == 0) {
+    // Nothing sampled: the view would be empty and the plan set with it, so
+    // skip the view build and plan rebuild. Observably identical to running
+    // them (pending_plans_ ends up empty either way, and the worker-stage
+    // charge below was already skipped for empty plan sets).
+    pending_plans_.clear();
+    next_plan_ = 0;
+    return;
+  }
   const LocalGraphView view = BuildView();
   pending_plans_ = BuildPeerPlans(view, CurrentPairwiseConfig());
   if (static_cast<int>(pending_plans_.size()) > config_.max_peers_per_round) {

@@ -2,7 +2,6 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -202,11 +201,9 @@ TEST_P(SpaceSavingSkewTest, FindsDominantKey) {
     }
     ss.Observe(key);
   }
-  auto entries = ss.Entries();
-  auto best = std::max_element(entries.begin(), entries.end(),
-                               [](const auto& a, const auto& b) { return a.count < b.count; });
-  ASSERT_NE(best, entries.end());
-  EXPECT_EQ(best->key, 0);
+  const auto sorted = ss.SortedEntries();  // count desc, key asc
+  ASSERT_FALSE(sorted.empty());
+  EXPECT_EQ(sorted.front().key, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Capacities, SpaceSavingSkewTest, ::testing::Values(2, 4, 16, 64));
