@@ -5,9 +5,12 @@
 # toplevel CMakeLists maps to -fsanitize=address,undefined) and runs the full
 # ctest suite under it with leak detection on. Intended after any change to
 # manually-indexed data structures (the Stream-Summary sampler's slab links,
-# the indexed exchange heap, FlatHashMap probing): a stale index or
-# use-after-free that happens to read plausible bytes can slip past the
-# golden tests but not past ASan.
+# the indexed exchange heap, FlatHashMap probing, the CpuModel job slab +
+# packed-key completion heap, RingBuffer's masked head/tail arithmetic): a
+# stale index or use-after-free that happens to read plausible bytes can slip
+# past the golden and differential tests but not past ASan. The suite picks
+# up every registered test automatically, including the CPU differential and
+# ring-buffer suites added with the virtual-time scheduler.
 #
 # Usage:
 #   scripts/check_asan.sh              # full tier-1 suite under ASan+UBSan

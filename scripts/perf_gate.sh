@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Perf-regression gate for the engine/messaging and partitioning hot paths.
+# Perf-regression gate for the engine/messaging, partitioning and
+# cluster/CPU-scheduler hot paths.
 #
-# Builds bench_engine and bench_partition in Release mode, runs both, writes
-# BENCH_engine.json and BENCH_partition.json at the repo root, and — when a
-# checked-in baseline exists — fails (exit 1) if any scenario's events/sec
-# regressed more than THRESHOLD (default 10%) against the corresponding file
-# in bench/baselines/. bench_partition additionally self-gates its in-binary
-# geomean speedup vs the retained seed implementations (1.5x floor).
+# Builds bench_engine, bench_partition and bench_cluster in Release mode,
+# runs all three, writes BENCH_engine.json, BENCH_partition.json and
+# BENCH_cluster.json at the repo root, and — when a checked-in baseline
+# exists — fails (exit 1) if any scenario's events/sec regressed more than
+# THRESHOLD (default 10%) against the corresponding file in bench/baselines/.
+# bench_partition and bench_cluster additionally self-gate their in-binary
+# geomean speedups vs the retained seed implementations (1.5x floors), and
+# bench_cluster fails if an optimized CPU scenario allocates in steady state.
 #
 # Usage:
 #   scripts/perf_gate.sh                 # gate against the checked-in baselines
@@ -28,7 +31,8 @@ SCALE="${SCALE:-1.0}"
 BUILD_DIR="${BUILD_DIR:-build-release}"
 
 cmake --preset release >/dev/null
-cmake --build "${BUILD_DIR}" --target bench_engine --target bench_partition -j >/dev/null
+cmake --build "${BUILD_DIR}" --target bench_engine --target bench_partition \
+      --target bench_cluster -j >/dev/null
 
 status=0
 run_gate() {
@@ -49,4 +53,5 @@ run_gate() {
 
 run_gate engine
 run_gate partition
+run_gate cluster
 exit "${status}"

@@ -1,0 +1,100 @@
+// Growable FIFO ring buffer.
+//
+// std::deque is the obvious container for the hot FIFO queues in this
+// codebase (stage event queues, call-timeout queues, actor mailboxes), but
+// every major implementation allocates its elements in fixed-size blocks
+// (libstdc++: 512 bytes) threaded through a separately allocated map — a
+// steady-state push/pop workload keeps allocating and freeing blocks, and
+// traversal chases pointers. This ring keeps elements in one contiguous
+// power-of-two array indexed by monotone head/tail counters masked into the
+// storage, so steady state is allocation-free and a queue that has reached
+// its high-water mark never allocates again; memory is only reclaimed on
+// destruction, matching the slab idiom used throughout the repository.
+//
+// Only the operations the repository needs are provided (strict FIFO plus
+// random-access peeking); there is no erase-from-middle and no iterator
+// stability concern because there are no iterators.
+
+#ifndef SRC_COMMON_RING_BUFFER_H_
+#define SRC_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+
+  bool empty() const { return head_ == tail_; }
+  size_t size() const { return tail_ - head_; }
+
+  void push_back(T value) {
+    if (size() == storage_.size()) Grow();
+    storage_[tail_ & mask_] = std::move(value);
+    tail_++;
+  }
+
+  T& front() {
+    ACTOP_CHECK(!empty());
+    return storage_[head_ & mask_];
+  }
+  const T& front() const {
+    ACTOP_CHECK(!empty());
+    return storage_[head_ & mask_];
+  }
+
+  // i-th element from the front (0 == front()); i must be < size().
+  T& at(size_t i) {
+    ACTOP_CHECK(i < size());
+    return storage_[(head_ + i) & mask_];
+  }
+  const T& at(size_t i) const {
+    ACTOP_CHECK(i < size());
+    return storage_[(head_ + i) & mask_];
+  }
+
+  void pop_front() {
+    ACTOP_CHECK(!empty());
+    storage_[head_ & mask_] = T();  // release resources now, not at reuse
+    head_++;
+  }
+
+  void clear() {
+    while (!empty()) pop_front();
+  }
+
+ private:
+  static constexpr size_t kInitialCapacity = 16;
+
+  void Grow() {
+    const size_t old_cap = storage_.size();
+    const size_t new_cap = old_cap == 0 ? kInitialCapacity : old_cap * 2;
+    std::vector<T> next(new_cap);
+    const size_t n = size();
+    for (size_t i = 0; i < n; i++) {
+      next[i] = std::move(storage_[(head_ + i) & mask_]);
+    }
+    storage_ = std::move(next);
+    mask_ = new_cap - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::vector<T> storage_;
+  size_t mask_ = 0;
+  // Monotone counters; (counter & mask_) is the storage index. Wraparound of
+  // the counters themselves is harmless: all arithmetic is modular and sizes
+  // are differences.
+  size_t head_ = 0;
+  size_t tail_ = 0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_COMMON_RING_BUFFER_H_

@@ -70,12 +70,12 @@ bool ParamEstimator::ready() const {
   return false;
 }
 
-std::vector<StageParams> ParamEstimator::Estimate() const {
-  std::vector<StageParams> params(stages_.size());
+const std::vector<StageParams>& ParamEstimator::Estimate() const {
+  params_scratch_.assign(stages_.size(), StageParams{});
   const double alpha = this->alpha();
   for (size_t i = 0; i < stages_.size(); i++) {
     const StageEstimate& st = stages_[i];
-    StageParams& out = params[i];
+    StageParams& out = params_scratch_[i];
     out.lambda = st.lambda.initialized() ? st.lambda.value() : 0.0;
     if (!st.mean_z.initialized() || !st.mean_x.initialized()) {
       // No traffic observed: conservative defaults keep the optimizer from
@@ -94,7 +94,7 @@ std::vector<StageParams> ParamEstimator::Estimate() const {
     out.s = 1e9 / service_ns;  // events per second per thread
     out.beta = std::clamp(mean_x / service_ns, 0.0, 1.0);
   }
-  return params;
+  return params_scratch_;
 }
 
 }  // namespace actop

@@ -46,7 +46,12 @@ class ParamEstimator {
 
   // Estimated per-stage parameters (rates in events/sec). Only valid when
   // ready(). Stages with no traffic get lambda = 0 and a conservative s.
-  std::vector<StageParams> Estimate() const;
+  // The reference points into a scratch buffer owned by the estimator and is
+  // invalidated by the next Estimate() call; callers that need to keep the
+  // parameters copy them (vector copy-assign reuses the destination's
+  // capacity, so a periodic controller still allocates nothing at steady
+  // state).
+  const std::vector<StageParams>& Estimate() const;
 
   // The current ready-time factor α (for tests/inspection).
   double alpha() const { return alpha_.initialized() ? alpha_.value() : 0.0; }
@@ -61,6 +66,8 @@ class ParamEstimator {
   EstimatorConfig config_;
   std::vector<StageEstimate> stages_;
   Ewma alpha_{0.5};
+  // Backing store for Estimate(); sized once to the stage count.
+  mutable std::vector<StageParams> params_scratch_;
 };
 
 }  // namespace actop

@@ -43,17 +43,17 @@ void ModelThreadController::StepOnce() {
 
 void ModelThreadController::CollectAndApply(SimDuration window_length) {
   const int k = host_->num_stages();
-  std::vector<StageWindow> windows;
-  windows.reserve(static_cast<size_t>(k));
+  windows_scratch_.clear();
+  windows_scratch_.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; i++) {
-    windows.push_back(host_->stage(i).TakeWindow());
+    windows_scratch_.push_back(host_->stage(i).TakeWindow());
   }
-  estimator_.AddWindow(windows, window_length);
+  estimator_.AddWindow(windows_scratch_, window_length);
   if (!estimator_.ready()) {
     return;
   }
 
-  AllocationProblem problem;
+  AllocationProblem& problem = problem_scratch_;
   problem.stages = estimator_.Estimate();
   problem.processors = host_->cores();
   problem.eta = config_.eta;

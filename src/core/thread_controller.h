@@ -63,6 +63,10 @@ class ModelThreadController {
   EventId periodic_id_ = 0;
   SimTime last_step_time_ = 0;
   std::function<void(const std::vector<int>&)> observer_;
+  // Reused across control periods so the periodic step allocates nothing at
+  // steady state (vector assign/copy into these reuses their capacity).
+  std::vector<StageWindow> windows_scratch_;
+  AllocationProblem problem_scratch_;
 };
 
 struct QueueLengthControllerConfig {

@@ -433,8 +433,8 @@ void Server::IssueCall(ActorId from_actor, ActorId target, MethodId method, uint
     pending.on_response = std::move(on_response);
     pending.issued_at = sim_->now();
     pending.remote = !local;
-    pending_calls_.emplace(seq, std::move(pending));
-    timeout_queue_.emplace_back(sim_->now() + config_.call_timeout, seq);
+    pending_calls_.Insert(seq, std::move(pending));
+    timeout_queue_.push_back({sim_->now() + config_.call_timeout, seq});
     auto act_it = activations_.find(from_actor);
     if (act_it != activations_.end()) {
       act_it->second.pending_subcalls++;
@@ -484,12 +484,12 @@ void Server::CompleteReply(ActorId from_actor, const Envelope& original_call, ui
 
 void Server::HandleResponse(std::shared_ptr<Envelope> env) {
   ACTOP_CHECK(env->call_id.node == node_);
-  auto it = pending_calls_.find(env->call_id.seq);
-  if (it == pending_calls_.end()) {
+  PendingCall* found = pending_calls_.Find(env->call_id.seq);
+  if (found == nullptr) {
     return;  // timed out or dropped during a crash
   }
-  PendingCall pending = std::move(it->second);
-  pending_calls_.erase(it);
+  PendingCall pending = std::move(*found);
+  pending_calls_.Erase(env->call_id.seq);
 
   auto act_it = activations_.find(pending.issuer);
   if (act_it != activations_.end()) {
@@ -650,24 +650,25 @@ void Server::Crash() {
   crash_epoch_++;
   activations_.clear();
   parked_calls_.clear();
-  pending_calls_.clear();
+  pending_calls_.Clear();
   timeout_queue_.clear();
-  open_call_contexts_.clear();
+  open_call_contexts_.Clear();
   pending_unregisters_.clear();
   location_cache_.Clear();
 }
 
 void Server::RetainContext(void* key, std::shared_ptr<void> context) {
-  open_call_contexts_.emplace(key, std::move(context));
+  open_call_contexts_.Insert(reinterpret_cast<uintptr_t>(key), std::move(context));
 }
 
 std::shared_ptr<void> Server::ReleaseContext(void* key) {
-  auto it = open_call_contexts_.find(key);
-  if (it == open_call_contexts_.end()) {
+  const auto k = reinterpret_cast<uintptr_t>(key);
+  std::shared_ptr<void>* found = open_call_contexts_.Find(k);
+  if (found == nullptr) {
     return nullptr;
   }
-  std::shared_ptr<void> out = std::move(it->second);
-  open_call_contexts_.erase(it);
+  std::shared_ptr<void> out = std::move(*found);
+  open_call_contexts_.Erase(k);
   return out;
 }
 
@@ -705,12 +706,12 @@ void Server::SweepTimeouts() {
 }
 
 void Server::FailPendingCall(uint64_t seq) {
-  auto it = pending_calls_.find(seq);
-  if (it == pending_calls_.end()) {
+  PendingCall* found = pending_calls_.Find(seq);
+  if (found == nullptr) {
     return;
   }
-  PendingCall pending = std::move(it->second);
-  pending_calls_.erase(it);
+  PendingCall pending = std::move(*found);
+  pending_calls_.Erase(seq);
   auto act_it = activations_.find(pending.issuer);
   if (act_it != activations_.end() && act_it->second.pending_subcalls > 0) {
     act_it->second.pending_subcalls--;

@@ -17,17 +17,20 @@
 #ifndef SRC_RUNTIME_SERVER_H_
 #define SRC_RUNTIME_SERVER_H_
 
-#include <deque>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/actor/actor.h"
 #include "src/actor/directory.h"
 #include "src/actor/location_cache.h"
+#include "src/common/flat_hash_map.h"
 #include "src/common/ids.h"
+#include "src/common/ring_buffer.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
 #include "src/net/network.h"
@@ -209,7 +212,7 @@ class Server : public ThreadHost {
     int open_contexts = 0;      // delivered calls not yet replied to
     int pending_subcalls = 0;   // sub-calls awaiting a response
     uint64_t dir_token = 0;     // token of the directory registration backing us
-    std::deque<std::shared_ptr<Envelope>> mailbox;
+    RingBuffer<std::shared_ptr<Envelope>> mailbox;
   };
 
   struct ParkedCalls {
@@ -275,9 +278,17 @@ class Server : public ThreadHost {
   DirectoryShard directory_shard_;
 
   // Calls issued from this node awaiting responses, keyed by sequence.
-  std::unordered_map<uint64_t, PendingCall> pending_calls_;
+  // FlatHashMap, not unordered_map: this is touched once per call issue and
+  // once per response on the message hot path, is never iterated (iteration
+  // order could never be determinism-load-bearing), and open addressing
+  // avoids the per-node allocation of the std containers. activations_ and
+  // parked_calls_ below stay unordered_map deliberately: they ARE iterated
+  // (ActiveActors, the SweepTimeouts retry loop), and replay determinism
+  // depends on that iteration order staying exactly as the seed's.
+  FlatHashMap<uint64_t, PendingCall> pending_calls_;
   uint64_t next_call_seq_ = 1;
-  std::deque<std::pair<SimTime, uint64_t>> timeout_queue_;
+  // Monotone deadlines, swept FIFO; ring keeps steady state allocation-free.
+  RingBuffer<std::pair<SimTime, uint64_t>> timeout_queue_;
 
   // Calls parked while a directory lookup is in flight, keyed by actor.
   std::unordered_map<ActorId, ParkedCalls> parked_calls_;
@@ -301,8 +312,9 @@ class Server : public ThreadHost {
 
   // Unreplied call contexts: an actor may Reply() from a sub-call
   // continuation long after its turn ended, so the runtime keeps the context
-  // alive until then.
-  std::unordered_map<void*, std::shared_ptr<void>> open_call_contexts_;
+  // alive until then. Keyed by the context pointer value; never iterated, so
+  // FlatHashMap is safe (see pending_calls_).
+  FlatHashMap<uint64_t, std::shared_ptr<void>> open_call_contexts_;
 
   EdgeObserver edge_observer_;
   CallLatencyObserver call_latency_observer_;

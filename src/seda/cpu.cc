@@ -2,16 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-#include <vector>
+#include <utility>
 
 #include "src/common/check.h"
 
 namespace actop {
 
 namespace {
-// Jobs whose remaining demand falls below this are considered complete.
-// Remaining demands are doubles (ns); half a nanosecond is far below any
-// modeled cost.
+// Jobs whose finish tag is within this much virtual service of V are
+// considered complete (same threshold, in the same units, as the seed
+// model's remaining-demand epsilon: virtual service is measured in ns of
+// dedicated-core time, exactly like demand).
 constexpr double kDoneEpsilon = 0.5;
 }  // namespace
 
@@ -30,7 +31,7 @@ CpuModel::CpuModel(Simulation* sim, int cores, double kappa, SimDuration quantum
 }
 
 double CpuModel::Efficiency() const {
-  const int excess = std::max(0, num_jobs_ - cores_);
+  const int excess = std::max(0, active_jobs() - cores_);
   return 1.0 / (1.0 + kappa_ * static_cast<double>(excess));
 }
 
@@ -38,77 +39,137 @@ double CpuModel::Rate() const {
   if (paused_) {
     return 0.0;
   }
-  if (num_jobs_ == 0) {
+  const int n = active_jobs();
+  if (n == 0) {
     return 0.0;
   }
-  const double share = std::min(1.0, static_cast<double>(cores_) / static_cast<double>(num_jobs_));
+  const double share = std::min(1.0, static_cast<double>(cores_) / static_cast<double>(n));
   return share * Efficiency();
+}
+
+double CpuModel::BusyCores() const {
+  if (paused_) {
+    return static_cast<double>(cores_);
+  }
+  return std::min<double>(active_jobs(), cores_);
 }
 
 void CpuModel::AdvanceTo(SimTime t) {
   ACTOP_CHECK(t >= last_update_);
   const auto dt = static_cast<double>(t - last_update_);
   if (dt > 0.0) {
-    if (paused_) {
-      // All cores burn GC work; no job progresses.
-      busy_core_nanos_ += dt * static_cast<double>(cores_);
-    } else if (num_jobs_ > 0) {
-      const double rate = Rate();
-      for (uint32_t i = jobs_head_; i != kNilIndex; i = jobs_[i].next) {
-        jobs_[i].remaining -= dt * rate;
-      }
-      busy_core_nanos_ += dt * std::min<double>(num_jobs_, cores_);
+    if (!paused_ && !heap_.empty()) {
+      vtime_ += dt * Rate();
     }
+    busy_core_nanos_ += dt * BusyCores();
   }
   last_update_ = t;
 }
 
+// --- job heap ---------------------------------------------------------------
+//
+// Plain 4-ary min-heap over (finish tag, link seq); children of node i live
+// at 4i+1..4i+4. Unlike the engine's event heap no back-pointers are needed:
+// under virtual time a running job's tag never changes and jobs are never
+// cancelled, so entries only enter at the bottom and leave at the root.
+
+size_t CpuModel::MinChild(size_t first, size_t n) const {
+  if (first + 4 <= n) {
+    const size_t a = Before(heap_[first + 1], heap_[first]) ? first + 1 : first;
+    const size_t b = Before(heap_[first + 3], heap_[first + 2]) ? first + 3 : first + 2;
+    return Before(heap_[b], heap_[a]) ? b : a;
+  }
+  size_t best = first;
+  for (size_t c = first + 1; c < n; c++) {
+    if (Before(heap_[c], heap_[best])) best = c;
+  }
+  return best;
+}
+
+void CpuModel::SiftUp(size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 4;
+    if (!Before(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = entry;
+}
+
+void CpuModel::SiftDown(size_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    const size_t best = MinChild(first, n);
+    if (!Before(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    pos = best;
+  }
+  heap_[pos] = entry;
+}
+
+void CpuModel::HeapPush(double finish_v, uint32_t slot) {
+  ACTOP_CHECK(next_seq_ <= kMaxSeq);
+  heap_.push_back(HeapEntry{finish_v, (next_seq_++ << kSlotBits) | slot});
+  SiftUp(heap_.size() - 1);
+}
+
+void CpuModel::HeapPopRoot() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  heap_[0] = last;
+  SiftDown(0);
+}
+
+// --- scheduling -------------------------------------------------------------
+
 void CpuModel::Reschedule() {
-  if (pending_completion_ != 0) {
-    sim_->Cancel(pending_completion_);
-    pending_completion_ = 0;
-  }
-  if (num_jobs_ == 0 || paused_) {
+  if (heap_.empty() || paused_) {
+    if (pending_completion_ != 0) {
+      sim_->Cancel(pending_completion_);
+      pending_completion_ = 0;
+    }
     return;
-  }
-  double min_remaining = jobs_[jobs_head_].remaining;
-  for (uint32_t i = jobs_[jobs_head_].next; i != kNilIndex; i = jobs_[i].next) {
-    min_remaining = std::min(min_remaining, jobs_[i].remaining);
   }
   const double rate = Rate();
   ACTOP_CHECK(rate > 0.0);
-  const double wait = std::max(0.0, min_remaining) / rate;
-  pending_completion_ =
-      sim_->ScheduleAfter(static_cast<SimDuration>(std::ceil(wait)), [this] { OnCompletion(); });
+  // The heap root holds the smallest finish tag — the seed's full
+  // min-remaining rescan reduced to a peek.
+  const double wait = std::max(0.0, heap_[0].finish_v - vtime_) / rate;
+  const SimTime when = sim_->now() + static_cast<SimDuration>(std::ceil(wait));
+  if (pending_completion_ != 0 && sim_->Reschedule(pending_completion_, when)) {
+    return;
+  }
+  pending_completion_ = sim_->ScheduleAt(when, [this] { OnCompletion(); });
 }
 
 void CpuModel::OnCompletion() {
   pending_completion_ = 0;
   AdvanceTo(sim_->now());
-  // Collect every job that has finished (ties are possible) in insertion
-  // order, then run the callbacks after the list has been updated: a
-  // callback typically starts the next computation on the same CPU.
+  batch_scratch_.clear();
   done_scratch_.clear();
-  for (uint32_t i = jobs_head_; i != kNilIndex;) {
-    const uint32_t next = jobs_[i].next;
-    if (jobs_[i].remaining <= kDoneEpsilon) {
-      done_scratch_.push_back(std::move(jobs_[i].done));
-      Job& j = jobs_[i];
-      if (j.prev != kNilIndex) {
-        jobs_[j.prev].next = j.next;
-      } else {
-        jobs_head_ = j.next;
-      }
-      if (j.next != kNilIndex) {
-        jobs_[j.next].prev = j.prev;
-      } else {
-        jobs_tail_ = j.prev;
-      }
-      j.next = jobs_free_;
-      jobs_free_ = i;
-      num_jobs_--;
-    }
-    i = next;
+  const double cutoff = vtime_ + kDoneEpsilon;
+  while (!heap_.empty() && heap_[0].finish_v <= cutoff) {
+    batch_scratch_.push_back(heap_[0].key);
+    HeapPopRoot();
+  }
+  // Key order is link-seq order, which is the seed's insertion order: ties
+  // complete, free their slots, and fire their callbacks exactly as the
+  // seed's in-order list sweep did.
+  std::sort(batch_scratch_.begin(), batch_scratch_.end());
+  for (const uint64_t key : batch_scratch_) {
+    const auto slot = static_cast<uint32_t>(key & kSlotMask);
+    Job& j = jobs_[slot];
+    done_scratch_.push_back(std::move(j.done));
+    j.free_next = jobs_free_;
+    jobs_free_ = slot;
+  }
+  if (heap_.empty()) {
+    vtime_ = 0.0;  // idle: rebase so V never outgrows double precision
   }
   Reschedule();
   for (InlineTask& fn : done_scratch_) {
@@ -120,16 +181,10 @@ void CpuModel::OnCompletion() {
 void CpuModel::BeginCompute(SimDuration demand, InlineTask done) {
   ACTOP_CHECK(static_cast<bool>(done));
   if (demand <= 0) {
-    // Zero-cost work completes immediately but still via the event queue so
-    // that callers never re-enter synchronously.
     sim_->ScheduleAfter(0, std::move(done));
     return;
   }
-  // Park the job in a slab slot first so the continuation lambdas below
-  // capture only [this, slot] and stay inline in the event engine.
   const uint32_t slot = AllocJob(demand, std::move(done));
-  // Dispatch latency: a newly runnable thread waits for a scheduling quantum
-  // when there are more runnable threads than cores.
   const int over = runnable_jobs() + 1 - cores_;
   if (quantum_ > 0 && over > 0) {
     const double mean = static_cast<double>(quantum_) * static_cast<double>(over) /
@@ -149,35 +204,25 @@ uint32_t CpuModel::AllocJob(SimDuration demand, InlineTask done) {
   uint32_t slot;
   if (jobs_free_ != kNilIndex) {
     slot = jobs_free_;
-    jobs_free_ = jobs_[slot].next;
+    jobs_free_ = jobs_[slot].free_next;
   } else {
+    // Slot indices must fit the low kSlotBits of a heap key.
+    ACTOP_CHECK(jobs_.size() < (1ULL << kSlotBits));
     jobs_.emplace_back();
     slot = static_cast<uint32_t>(jobs_.size() - 1);
   }
   Job& j = jobs_[slot];
-  j.remaining = static_cast<double>(demand);
+  j.finish_v = static_cast<double>(demand);  // raw demand until linked
   j.done = std::move(done);
-  j.prev = kNilIndex;
-  j.next = kNilIndex;
+  j.free_next = kNilIndex;
   return slot;
-}
-
-void CpuModel::LinkJob(uint32_t slot) {
-  Job& j = jobs_[slot];
-  j.prev = jobs_tail_;
-  j.next = kNilIndex;
-  if (jobs_tail_ != kNilIndex) {
-    jobs_[jobs_tail_].next = slot;
-  } else {
-    jobs_head_ = slot;
-  }
-  jobs_tail_ = slot;
-  num_jobs_++;
 }
 
 void CpuModel::StartParkedJob(uint32_t slot) {
   AdvanceTo(sim_->now());
-  LinkJob(slot);
+  Job& j = jobs_[slot];
+  j.finish_v = vtime_ + j.finish_v;  // demand -> finish tag at link time
+  HeapPush(j.finish_v, slot);
   Reschedule();
 }
 
@@ -227,18 +272,8 @@ void CpuModel::EndPause() {
 }
 
 double CpuModel::busy_core_nanos() const {
-  // Include the in-progress interval so callers sampling mid-run see smooth
-  // utilization.
-  double busy = busy_core_nanos_;
   const auto dt = static_cast<double>(sim_->now() - last_update_);
-  if (dt > 0.0) {
-    if (paused_) {
-      busy += dt * static_cast<double>(cores_);
-    } else if (num_jobs_ > 0) {
-      busy += dt * std::min<double>(num_jobs_, cores_);
-    }
-  }
-  return busy;
+  return busy_core_nanos_ + dt * BusyCores();
 }
 
 }  // namespace actop

@@ -16,8 +16,7 @@
 //         min(1, cores / computing) / (1 + kappa * max(0, computing - cores))
 //     where the second factor models context-switch and cache-thrash
 //     overhead. The sharing is exact (event-driven): whenever the set of
-//     running computations changes, remaining demands are advanced and the
-//     next completion is re-scheduled.
+//     running computations changes, the next completion is re-scheduled.
 //
 // The ready-state delay plus sharing stretch is exactly the r (ready time)
 // of the paper's Figure 9; blocking time w is modeled at the Stage level.
@@ -28,6 +27,22 @@
 // stacks mean more GC roots). Pauses create the backlog spikes that make a
 // SEDA server's latency so sensitive to its thread allocation — the
 // phenomenon behind the paper's Figures 4 and 5.
+//
+// Implementation: virtual-time fair queuing. Under egalitarian processor
+// sharing every running job receives the identical instantaneous rate, so
+// one cumulative virtual-service clock V(t) = ∫ rate(t) dt describes all of
+// them: a job that starts when the clock reads V with demand d finishes when
+// the clock reads V + d, regardless of how many rate changes happen in
+// between. The model therefore advances a single accumulator per rate
+// segment (O(1), replacing the seed's per-job remaining-demand decrement
+// loop), keeps each job's immutable finish tag V_start + demand in a 4-ary
+// min-heap ordered by (finish tag, link seq) (peek replaces the seed's full
+// min-remaining rescan), and re-arms one standing completion event via
+// Simulation::Reschedule (no Cancel + ScheduleAfter slot churn on every
+// arrival). Arrival and completion are O(log n) in the number of running
+// jobs; nothing on the steady-state path allocates. The retained seed
+// implementation lives in cpu_reference.h (namespace sedaref) and the two
+// are held equivalent by tests/seda/cpu_differential_test.cc.
 
 #ifndef SRC_SEDA_CPU_H_
 #define SRC_SEDA_CPU_H_
@@ -54,20 +69,21 @@ class CpuModel {
 
   // Starts a computation with the given CPU demand (in ns of dedicated-core
   // time). `done` runs when the computation completes; the wallclock taken is
-  // >= demand and depends on concurrent load. Returns an opaque job count.
+  // >= demand and depends on concurrent load.
   void BeginCompute(SimDuration demand, InlineTask done);
 
   // Total threads allocated on this server (across all stages). Bookkeeping
   // only: the over-subscription penalty depends on *active* computations
-  // (allocated-but-idle threads are parked and cost nothing).
+  // (allocated-but-idle threads are parked and cost nothing). Read at the
+  // start of each GC pause, so a change applies from the next pause on.
   void set_total_threads(int total_threads);
   int total_threads() const { return total_threads_; }
 
   int cores() const { return cores_; }
   // Jobs currently computing (on-CPU, sharing cores).
-  int active_jobs() const { return num_jobs_; }
+  int active_jobs() const { return static_cast<int>(heap_.size()); }
   // Jobs runnable: waiting for a scheduling quantum plus computing.
-  int runnable_jobs() const { return ready_jobs_ + num_jobs_; }
+  int runnable_jobs() const { return ready_jobs_ + active_jobs(); }
 
   // Busy core-nanoseconds accumulated since construction. `utilization` over
   // a window is (busy_core_nanos delta) / (cores * window).
@@ -91,30 +107,59 @@ class CpuModel {
 
  private:
   static constexpr uint32_t kNilIndex = 0xFFFFFFFFu;
+  // Slot index bits in a heap key; bounds simultaneous jobs per CPU at 2^24
+  // (real runs peak at a few hundred — the thread allocation).
+  static constexpr uint32_t kSlotBits = 24;
+  static constexpr uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+  // 2^40 job links per CpuModel before the packed seq would wrap — checked.
+  static constexpr uint64_t kMaxSeq = (1ULL << (64 - kSlotBits)) - 1;
 
-  // Jobs live in a slab threaded by an intrusive doubly-linked list in
-  // insertion order (OnCompletion collects finished callbacks in that order,
-  // which is part of deterministic dispatch); freed slots recycle through a
-  // free list over `next`. A parked job (dispatch-latency wait) occupies a
-  // slot but is not yet linked.
+  // Jobs live in a slab; freed slots recycle through a free list threaded
+  // over `free_next`. A parked job (dispatch-latency wait) occupies a slot
+  // but is not yet in the heap; until it links, `finish_v` holds the raw
+  // demand (the finish tag can only be computed against V at link time).
   struct Job {
-    double remaining = 0.0;  // ns of demanded core time still owed
+    double finish_v = 0.0;  // V_link + demand once linked; demand while parked
     InlineTask done;
-    uint32_t prev = kNilIndex;
-    uint32_t next = kNilIndex;  // doubles as the free-list link
+    uint32_t free_next = kNilIndex;
   };
+
+  // Heap entries carry the full sort key so sift operations compare within
+  // the contiguous heap array (same layout discipline as the engine's event
+  // heap): `key` packs the monotone link seq over the slot index, so for
+  // equal finish tags key order is link order — the seed completed tied jobs
+  // in insertion order, and the completion batch is sorted by this key to
+  // preserve exactly that callback order.
+  struct HeapEntry {
+    double finish_v;
+    uint64_t key;
+
+    uint32_t slot() const { return static_cast<uint32_t>(key & kSlotMask); }
+  };
+
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    return a.finish_v != b.finish_v ? a.finish_v < b.finish_v : a.key < b.key;
+  }
 
   double Efficiency() const;
   double Rate() const;  // per-job progress per wallclock ns
+  // Cores actively burning cycles right now (shared by the busy accounting
+  // in AdvanceTo and the mid-interval projection in busy_core_nanos()).
+  double BusyCores() const;
   void AdvanceTo(SimTime t);
   void Reschedule();
   void OnCompletion();
   uint32_t AllocJob(SimDuration demand, InlineTask done);
-  void LinkJob(uint32_t slot);
   void StartParkedJob(uint32_t slot);
   void SchedulePause();
   void BeginPause();
   void EndPause();
+
+  size_t MinChild(size_t first, size_t n) const;
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  void HeapPush(double finish_v, uint32_t slot);
+  void HeapPopRoot();
 
   Simulation* sim_;
   const int cores_;
@@ -124,11 +169,14 @@ class CpuModel {
   int total_threads_;
   int ready_jobs_ = 0;
   std::vector<Job> jobs_;
-  uint32_t jobs_head_ = kNilIndex;  // oldest linked job
-  uint32_t jobs_tail_ = kNilIndex;
   uint32_t jobs_free_ = kNilIndex;
-  int num_jobs_ = 0;
+  std::vector<HeapEntry> heap_;  // running jobs, min (finish_v, seq)
+  // Cumulative virtual service V(t); rebased to 0 whenever the CPU idles so
+  // the accumulator never outgrows double precision within a busy period.
+  double vtime_ = 0.0;
+  uint64_t next_seq_ = 1;
   // Reused across completions so tie batches do not allocate at steady state.
+  std::vector<uint64_t> batch_scratch_;     // popped keys, sorted to seq order
   std::vector<InlineTask> done_scratch_;
   SimTime last_update_ = 0;
   EventId pending_completion_ = 0;

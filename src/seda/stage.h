@@ -18,12 +18,12 @@
 #define SRC_SEDA_STAGE_H_
 
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "src/common/inline_task.h"
+#include "src/common/ring_buffer.h"
 #include "src/common/sim_time.h"
 #include "src/seda/cpu.h"
 #include "src/sim/simulation.h"
@@ -128,7 +128,9 @@ class Stage {
   std::string name_;
   int threads_;
   size_t queue_capacity_;
-  std::deque<QueuedEvent> queue_;
+  // Ring, not deque: steady-state enqueue/dequeue touches one contiguous
+  // array and never allocates once the queue has seen its high-water mark.
+  RingBuffer<QueuedEvent> queue_;
   std::vector<InService> in_service_;
   uint32_t in_service_free_ = kNilIndex;
   int busy_ = 0;

@@ -156,6 +156,26 @@ bool Simulation::Cancel(EventId id) {
   return true;
 }
 
+bool Simulation::Reschedule(EventId id, SimTime when) {
+  if ((id & kPeriodicTag) != 0) return false;
+  const uint32_t slot = static_cast<uint32_t>(id);
+  const uint32_t gen = static_cast<uint32_t>(id >> 32) & kGenMask;
+  if (slot >= slots_.size() || slots_[slot].gen != gen) return false;
+  ACTOP_CHECK(when >= now_);
+  ACTOP_CHECK(next_seq_ <= kMaxSeq);
+  const size_t pos = slots_[slot].heap_pos;
+  heap_[pos].when = when;
+  heap_[pos].key = (next_seq_++ << kSlotBits) | slot;
+  // The fresh seq is the largest in the heap, so among equal timestamps the
+  // entry only sinks; across timestamps it can move either way.
+  if (pos > 0 && Before(heap_[pos], heap_[(pos - 1) / 4])) {
+    SiftUp(pos);
+  } else {
+    SiftDown(pos);
+  }
+  return true;
+}
+
 // --- periodic tasks ---------------------------------------------------------
 
 uint32_t Simulation::AllocPeriodicSlot() {

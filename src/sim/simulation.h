@@ -72,6 +72,16 @@ class Simulation {
   // equivalent to CancelPeriodic.
   bool Cancel(EventId id);
 
+  // Moves a pending event to absolute time `when` (must be >= now()) in one
+  // sift instead of Cancel + ScheduleAt: the id stays valid and the callback
+  // is untouched, so periodic re-arming (CpuModel's completion event on every
+  // arrival/departure) does not churn slots or rebuild closures. The event is
+  // re-sequenced exactly as a fresh schedule would be — it runs after events
+  // already pending at the same instant — so dispatch order is identical to
+  // the Cancel + ScheduleAt it replaces. Returns false (and does nothing) for
+  // fired/cancelled/periodic ids.
+  bool Reschedule(EventId id, SimTime when);
+
   // Schedules `fn` to run every `period` starting at now() + `period`.
   // Returns a control id accepted by CancelPeriodic (or Cancel). The
   // callback may cancel its own id from inside its invocation.

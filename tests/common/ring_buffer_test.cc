@@ -1,0 +1,108 @@
+#include "src/common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace actop {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> rb;
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBufferTest, FifoOrder) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 100; i++) rb.push_back(i);
+  EXPECT_EQ(rb.size(), 100u);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, InterleavedPushPopWrapsAround) {
+  // Sustained push/pop cycles drive the monotone counters far past the
+  // capacity, exercising the mask wraparound repeatedly.
+  RingBuffer<int> rb;
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 1000; round++) {
+    for (int i = 0; i < 7; i++) rb.push_back(next_in++);
+    for (int i = 0; i < 7 && !rb.empty(); i++) {
+      EXPECT_EQ(rb.front(), next_out++);
+      rb.pop_front();
+    }
+  }
+  while (!rb.empty()) {
+    EXPECT_EQ(rb.front(), next_out++);
+    rb.pop_front();
+  }
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(RingBufferTest, GrowPreservesOrderAcrossWrappedContents) {
+  RingBuffer<int> rb;
+  // Misalign head so the live range straddles the physical end of storage
+  // when growth happens.
+  for (int i = 0; i < 12; i++) rb.push_back(-1);
+  for (int i = 0; i < 12; i++) rb.pop_front();
+  for (int i = 0; i < 500; i++) rb.push_back(i);  // forces several growths
+  for (int i = 0; i < 500; i++) {
+    EXPECT_EQ(rb.front(), i);
+    rb.pop_front();
+  }
+}
+
+TEST(RingBufferTest, AtIndexesFromFront) {
+  RingBuffer<int> rb;
+  for (int i = 0; i < 40; i++) rb.push_back(i);
+  for (int i = 0; i < 10; i++) rb.pop_front();
+  for (size_t i = 0; i < rb.size(); i++) {
+    EXPECT_EQ(rb.at(i), static_cast<int>(i) + 10);
+  }
+  rb.at(0) = 999;
+  EXPECT_EQ(rb.front(), 999);
+}
+
+TEST(RingBufferTest, MoveOnlyElements) {
+  RingBuffer<std::unique_ptr<std::string>> rb;
+  for (int i = 0; i < 50; i++) {
+    rb.push_back(std::make_unique<std::string>(std::to_string(i)));
+  }
+  for (int i = 0; i < 50; i++) {
+    EXPECT_EQ(*rb.front(), std::to_string(i));
+    auto taken = std::move(rb.front());
+    rb.pop_front();
+    EXPECT_EQ(*taken, std::to_string(i));
+  }
+}
+
+TEST(RingBufferTest, PopFrontReleasesResources) {
+  RingBuffer<std::shared_ptr<int>> rb;
+  auto tracked = std::make_shared<int>(42);
+  rb.push_back(tracked);
+  EXPECT_EQ(tracked.use_count(), 2);
+  rb.pop_front();
+  // The slot must not pin the element until it is overwritten.
+  EXPECT_EQ(tracked.use_count(), 1);
+}
+
+TEST(RingBufferTest, ClearEmptiesAndReleases) {
+  RingBuffer<std::shared_ptr<int>> rb;
+  auto tracked = std::make_shared<int>(7);
+  for (int i = 0; i < 5; i++) rb.push_back(tracked);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_EQ(tracked.use_count(), 1);
+  rb.push_back(tracked);  // reusable after clear
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+}  // namespace
+}  // namespace actop

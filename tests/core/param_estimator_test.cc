@@ -100,6 +100,49 @@ TEST(ParamEstimatorTest, IdleStageGetsZeroLambda) {
   EXPECT_DOUBLE_EQ(params[1].lambda, 0.0);
 }
 
+TEST(ParamEstimatorTest, LowTrafficWindowStillUpdatesLambda) {
+  // A window with plenty of arrivals but too few completions to trust its
+  // z/x means (a burst landed right at the window edge) must still feed the
+  // arrival-rate estimate: λ is measured from arrivals alone, and the
+  // controller needs to see the burst even before anything finishes.
+  ParamEstimator est(
+      EstimatorConfig{.no_blocking = {true}, .smoothing = 0.5, .min_completions = 50});
+  est.AddWindow({MakeWindow(1000, 200.0, 100.0)}, Seconds(1));
+  const double s_before = est.Estimate()[0].s;
+
+  StageWindow burst;
+  burst.arrivals = 2000;
+  burst.completions = 3;  // < min_completions: z/x means are garbage
+  burst.sum_wallclock = 9999.0 * 1e3 * 3;
+  burst.sum_compute = 1.0 * 1e3 * 3;
+  est.AddWindow({burst}, Seconds(1));
+
+  // λ blends 1000 and 2000 with smoothing 0.5; the service estimate holds.
+  EXPECT_NEAR(est.Estimate()[0].lambda, 1500.0, 1e-6);
+  EXPECT_NEAR(est.Estimate()[0].s, s_before, s_before * 1e-9);
+}
+
+TEST(ParamEstimatorTest, AlphaGuardIgnoresNegativeContention) {
+  // Bucketed timers can report z̄ slightly below x̄ on an uncontended stage.
+  // The per-stage α contribution is clamped at zero, so the other stage's
+  // genuine contention is averaged against 0 rather than a negative value.
+  ParamEstimator est(EstimatorConfig{.no_blocking = {true, true}});
+  est.AddWindow({MakeWindow(1000, 90.0, 100.0), MakeWindow(1000, 150.0, 100.0)}, Seconds(1));
+  EXPECT_NEAR(est.alpha(), 0.25, 1e-9);  // (max(0, -0.1) + 0.5) / 2
+}
+
+TEST(ParamEstimatorTest, WallclockBelowComputeClampsToComputeRate) {
+  // Same measurement skew on a lone stage: α = 0 and z̄ < x̄, so the
+  // effective service time z̄ − r would undercut the measured compute time;
+  // s clamps to 1/x̄ with β = 1.
+  ParamEstimator est(EstimatorConfig{.no_blocking = {true}});
+  est.AddWindow({MakeWindow(1000, 90.0, 100.0)}, Seconds(1));
+  EXPECT_NEAR(est.alpha(), 0.0, 1e-12);
+  const auto params = est.Estimate();
+  EXPECT_NEAR(params[0].s, 1e9 / static_cast<double>(Micros(100)), 10.0);
+  EXPECT_NEAR(params[0].beta, 1.0, 1e-9);
+}
+
 TEST(ParamEstimatorTest, ServiceTimeNeverBelowCompute) {
   // If α over-estimates ready time (z−r < x), s must be clamped to 1/x.
   ParamEstimator est(EstimatorConfig{.no_blocking = {true, false}});

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "src/common/rng.h"
 #include "src/common/sim_time.h"
 #include "src/sim/simulation.h"
 
@@ -179,6 +182,122 @@ TEST_P(CpuConservationTest, WorkIsConserved) {
 INSTANTIATE_TEST_SUITE_P(Grid, CpuConservationTest,
                          ::testing::Combine(::testing::Values(1, 2, 8),
                                             ::testing::Values(1, 3, 10, 25)));
+
+// The model's rng draws happen in a fixed order: EnablePauses draws the first
+// inter-pause gap, each oversubscribed BeginCompute draws one dispatch delay,
+// each EndPause draws the next gap. A probe Rng fed the same seed replays
+// that sequence so tests can compute the exact times of random events and
+// assert the scenario preconditions they rely on.
+
+TEST(CpuModelTest, GcPauseWhileJobParkedInDispatchQuantum) {
+  const uint64_t kSeed = 3;
+  const SimDuration kInterval = Millis(2);
+  const SimDuration kPauseLen = Millis(40);
+  const SimDuration kQuantum = Millis(30);
+  Rng probe(kSeed);
+  const auto pause_at = static_cast<SimDuration>(probe.NextExp(kInterval) + 0.5);
+  // Job B below arrives with one job computing on the single core, so its
+  // dispatch delay is drawn with over = 1, mean = quantum.
+  const auto park_delay = static_cast<SimDuration>(probe.NextExp(kQuantum) + 0.5);
+  const SimTime b_arrives = pause_at - 1;
+  // Preconditions for this seed: B is still parked when the pause begins,
+  // and B's park ends mid-pause (the edge under test: the dispatch delay
+  // elapses while the CPU is stopped, so B links but makes no progress).
+  ASSERT_GT(b_arrives, 0);
+  ASSERT_GT(b_arrives + park_delay, pause_at);
+  ASSERT_LT(b_arrives + park_delay, pause_at + kPauseLen);
+  // ...and the pause after this one starts late enough not to interfere.
+  const SimTime second_pause = pause_at + kPauseLen +
+                               static_cast<SimDuration>(probe.NextExp(kInterval) + 0.5);
+
+  Simulation sim;
+  CpuModel cpu(&sim, /*cores=*/1, /*kappa=*/0.0, kQuantum, kSeed);
+  cpu.EnablePauses(kInterval, kPauseLen, /*per_thread_factor=*/0.0);
+  const SimDuration b_demand = Micros(50);
+  cpu.BeginCompute(Seconds(100), [] {});  // occupies the core throughout
+  SimTime b_done = -1;
+  sim.ScheduleAt(b_arrives, [&] { cpu.BeginCompute(b_demand, [&] { b_done = sim.now(); }); });
+  // Mid-pause, after B's park elapsed: B must be linked (active) but frozen.
+  sim.ScheduleAt(pause_at + kPauseLen - 1, [&] {
+    EXPECT_TRUE(cpu.paused());
+    EXPECT_EQ(cpu.active_jobs(), 2);
+    EXPECT_EQ(cpu.current_rate(), 0.0);
+  });
+  sim.RunUntil(pause_at + kPauseLen + 4 * b_demand);
+  // B links mid-pause with zero progress until the pause ends, then shares
+  // the core with the long job: demand / (1/2 rate), from the pause end.
+  ASSERT_LT(pause_at + kPauseLen + 2 * b_demand, second_pause);
+  EXPECT_EQ(b_done, pause_at + kPauseLen + 2 * b_demand);
+}
+
+TEST(CpuModelTest, ZeroDemandJobRunsAfterCompletionsAlreadyQueued) {
+  // A zero-demand job completes via a fresh zero-delay event, so a completion
+  // event already queued at the same instant fires first — callback order is
+  // scheduling order, not "free work jumps the queue".
+  Simulation sim;
+  CpuModel cpu(&sim, 1, 0.0);
+  std::vector<int> order;
+  cpu.BeginCompute(Millis(5), [&] { order.push_back(1); });  // completes at t=5
+  // This event carries a later seq than the completion event above, so it
+  // runs second at t=5; the zero-demand completions then queue behind it.
+  sim.ScheduleAt(Millis(5), [&] {
+    cpu.BeginCompute(0, [&] { order.push_back(2); });
+    cpu.BeginCompute(0, [&] { order.push_back(3); });
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CpuModelTest, SetTotalThreadsAppliesFromNextPause) {
+  const uint64_t kSeed = 5;
+  const SimDuration kInterval = Millis(3);
+  const SimDuration kBase = Millis(1);
+  Rng probe(kSeed);
+  const auto gap1 = static_cast<SimDuration>(probe.NextExp(kInterval) + 0.5);
+  const auto gap2 = static_cast<SimDuration>(probe.NextExp(kInterval) + 0.5);
+
+  Simulation sim;
+  CpuModel cpu(&sim, /*cores=*/2, /*kappa=*/0.0, /*quantum=*/0, kSeed);
+  cpu.EnablePauses(kInterval, kBase, /*per_thread_factor=*/0.5);
+  // First pause: total_threads == cores, so duration is exactly kBase.
+  // Second pause: excess = 10 - 2, growth = 1 + 0.5 * 8 = 5x.
+  const SimTime p1 = gap1;
+  const SimTime p2 = p1 + kBase + gap2;
+  const SimDuration dur2 = 5 * kBase;
+  int checks = 0;
+  // Probes at a transition instant must be scheduled *after* the transition
+  // event was (same-timestamp events run in scheduling order), so each probe
+  // schedules the next from inside the previous one.
+  sim.ScheduleAt(p1, [&] {
+    checks++;
+    EXPECT_TRUE(cpu.paused());
+    // Mid-pause reallocation: the running pause keeps its duration; only the
+    // next pause reads the new thread count.
+    cpu.set_total_threads(10);
+    sim.ScheduleAt(p1 + kBase - 1, [&] {
+      checks++;
+      EXPECT_TRUE(cpu.paused());
+      sim.ScheduleAt(p1 + kBase, [&] {
+        checks++;
+        EXPECT_FALSE(cpu.paused());
+        sim.ScheduleAt(p2, [&] {
+          checks++;
+          EXPECT_TRUE(cpu.paused());
+          sim.ScheduleAt(p2 + dur2 - 1, [&] {
+            checks++;
+            EXPECT_TRUE(cpu.paused());
+            sim.ScheduleAt(p2 + dur2, [&] {
+              checks++;
+              EXPECT_FALSE(cpu.paused());
+            });
+          });
+        });
+      });
+    });
+  });
+  sim.RunUntil(p2 + dur2 + 1);
+  EXPECT_EQ(checks, 6);
+}
 
 }  // namespace
 }  // namespace actop

@@ -315,5 +315,92 @@ TEST(SimulationTest, SameTimestampTieBreakIsScheduleOrderAcrossOperations) {
   EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 6, 7, 8, 10, 11}));
 }
 
+TEST(SimulationTest, RescheduleMovesEventEitherDirection) {
+  Simulation sim;
+  std::vector<int> order;
+  const EventId id = sim.ScheduleAt(Millis(20), [&] { order.push_back(1); });
+  sim.ScheduleAt(Millis(10), [&] { order.push_back(0); });
+  EXPECT_TRUE(sim.Reschedule(id, Millis(5)));  // earlier
+  sim.ScheduleAt(Millis(7), [&] {
+    EXPECT_TRUE(sim.Reschedule(id, Millis(30)));  // later, from inside an event
+  });
+  // Re-arm: the same id stays valid across reschedules until it fires.
+  EXPECT_TRUE(sim.Reschedule(id, Millis(15)));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sim.now(), Millis(30));
+}
+
+TEST(SimulationTest, RescheduleKeepsIdValidAndCallbackIntact) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.ScheduleAt(Millis(1), [&] { fired++; });
+  for (int i = 2; i <= 50; i++) {
+    EXPECT_TRUE(sim.Reschedule(id, Millis(i)));
+  }
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Cancel(id));  // fired: the id is stale now
+}
+
+TEST(SimulationTest, RescheduleReturnsFalseForStaleAndPeriodicIds) {
+  Simulation sim;
+  const EventId fired = sim.ScheduleAfter(Millis(1), [] {});
+  const EventId cancelled = sim.ScheduleAfter(Millis(2), [] {});
+  sim.Cancel(cancelled);
+  const EventId periodic = sim.SchedulePeriodic(Millis(3), [] {});
+  sim.RunUntil(Millis(1));
+  EXPECT_FALSE(sim.Reschedule(fired, Millis(9)));
+  EXPECT_FALSE(sim.Reschedule(cancelled, Millis(9)));
+  EXPECT_FALSE(sim.Reschedule(periodic, Millis(9)));
+  EXPECT_FALSE(sim.Reschedule(0, Millis(9)));
+  sim.CancelPeriodic(periodic);
+}
+
+TEST(SimulationTest, RescheduleOrdersLikeCancelPlusScheduleAt) {
+  // A rescheduled event must run after events already pending at its new
+  // timestamp — the exact behavior of Cancel + ScheduleAt, which it
+  // replaces on the CpuModel hot path. Both orderings are verified against
+  // one another across a mixed schedule.
+  auto run = [](bool use_reschedule) {
+    Simulation sim;
+    std::vector<int> order;
+    for (int i = 0; i < 4; i++) {
+      sim.ScheduleAt(Millis(10), [&order, i] { order.push_back(i); });
+    }
+    EventId id = sim.ScheduleAt(Millis(4), [&order] { order.push_back(99); });
+    if (use_reschedule) {
+      EXPECT_TRUE(sim.Reschedule(id, Millis(10)));
+    } else {
+      EXPECT_TRUE(sim.Cancel(id));
+      sim.ScheduleAt(Millis(10), [&order] { order.push_back(99); });
+    }
+    sim.ScheduleAt(Millis(10), [&order] { order.push_back(4); });
+    sim.Run();
+    return order;
+  };
+  const std::vector<int> with_reschedule = run(true);
+  const std::vector<int> with_cancel = run(false);
+  EXPECT_EQ(with_reschedule, (std::vector<int>{0, 1, 2, 3, 99, 4}));
+  EXPECT_EQ(with_reschedule, with_cancel);
+}
+
+TEST(SimulationTest, RescheduleToCurrentInstantRunsAfterPendingTies) {
+  Simulation sim;
+  std::vector<int> order;
+  EventId id = 0;
+  sim.ScheduleAt(Millis(5), [&] {
+    // From inside an event at t=5: move `id` to t=5. It must still run
+    // after the event below that was already pending at t=5.
+    EXPECT_TRUE(sim.Reschedule(id, Millis(5)));
+  });
+  sim.ScheduleAt(Millis(5), [&order] { order.push_back(1); });
+  id = sim.ScheduleAt(Millis(20), [&order] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), Millis(5));
+}
+
 }  // namespace
 }  // namespace actop
