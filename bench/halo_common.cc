@@ -67,6 +67,9 @@ HaloExperimentResult RunHaloExperiment(const HaloExperimentConfig& config) {
   // migration burst settles.
   halo.clients().ResetStats();
   cluster.metrics().ResetLatencies();
+  if (config.on_measure_start) {
+    config.on_measure_start();
+  }
   const double busy0 = snapshot_busy();
   const SimTime measure_start = sim.now();
   const uint64_t migrations0 = cluster.metrics().total_migrations();

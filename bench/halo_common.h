@@ -9,6 +9,7 @@
 #ifndef BENCH_HALO_COMMON_H_
 #define BENCH_HALO_COMMON_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,6 +32,10 @@ struct HaloExperimentConfig {
   uint64_t seed = 42;
   // Per-window callback during measurement (e.g. for the Fig 10a series).
   SimDuration window = Seconds(10);
+  // Invoked once when the warm-up ends and the measure window begins (stats
+  // freshly reset). bench_cluster uses it to snapshot its allocation
+  // counters so allocs/event covers steady state only, not setup/warm-up.
+  std::function<void()> on_measure_start;
 };
 
 struct HaloWindowSample {

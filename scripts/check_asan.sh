@@ -23,6 +23,13 @@ cd "$(dirname "$0")/.."
 cmake --preset asan >/dev/null
 cmake --build build-asan -j >/dev/null
 
+# A configure/build that silently produced nothing must not let the ctest
+# below "pass" on an empty or stale test universe.
+if [[ ! -f build-asan/CTestTestfile.cmake ]]; then
+  echo "check_asan: ERROR: build-asan/ has no CTest manifest; build failed?" >&2
+  exit 1
+fi
+
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 cd build-asan

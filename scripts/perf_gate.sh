@@ -16,6 +16,8 @@
 #   THRESHOLD=0.05 scripts/perf_gate.sh  # stricter gate
 #   SCALE=0.25 scripts/perf_gate.sh      # quicker run (smaller workloads);
 #                                        # throughput ratios stay comparable
+#   ATTEMPTS=1 scripts/perf_gate.sh      # no retry on a failed gate (default 3;
+#                                        # retries absorb shared-builder noise)
 #
 # The same comparisons run in ctest under the "perf" configuration:
 #   ctest --preset perf        (or: ctest -C perf -L perf from a build dir)
@@ -29,6 +31,10 @@ cd "$(dirname "$0")/.."
 THRESHOLD="${THRESHOLD:-0.10}"
 SCALE="${SCALE:-1.0}"
 BUILD_DIR="${BUILD_DIR:-build-release}"
+# Wall-clock throughput on shared builders dips 20-30% under transient host
+# load. A real regression reproduces on every attempt; a noise dip does not,
+# so retry a failing bench up to ATTEMPTS times before declaring a regression.
+ATTEMPTS="${ATTEMPTS:-3}"
 
 cmake --preset release >/dev/null
 cmake --build "${BUILD_DIR}" --target bench_engine --target bench_partition \
@@ -39,15 +45,45 @@ run_gate() {
   local bench="$1"
   local baseline="bench/baselines/BENCH_${bench}.baseline.json"
   local out="BENCH_${bench}.json"
+  local binary="${BUILD_DIR}/bench/bench_${bench}"
+  # Fail loudly instead of "passing" vacuously: a missing binary means the
+  # build above silently skipped the target, and a missing baseline means
+  # the gate would record numbers without comparing them. Recording without
+  # a baseline is legitimate only when intentionally re-baselining, so it
+  # must be requested explicitly.
+  if [[ ! -x "${binary}" ]]; then
+    echo "perf_gate: ERROR: bench binary ${binary} missing or not executable" >&2
+    status=1
+    return
+  fi
   local args=(--json="${out}" --scale="${SCALE}")
   if [[ -f "${baseline}" ]]; then
+    if [[ ! -s "${baseline}" ]]; then
+      echo "perf_gate: ERROR: baseline ${baseline} exists but is empty" >&2
+      status=1
+      return
+    fi
     args+=(--compare="${baseline}" --gate --threshold="${THRESHOLD}")
-  else
+  elif [[ "${ALLOW_MISSING_BASELINE:-0}" == "1" ]]; then
     echo "perf_gate: no baseline at ${baseline}; recording ${out} without gating" >&2
-  fi
-  if ! "${BUILD_DIR}/bench/bench_${bench}" "${args[@]}"; then
+  else
+    echo "perf_gate: ERROR: no baseline at ${baseline}" >&2
+    echo "perf_gate: set ALLOW_MISSING_BASELINE=1 to record a new baseline" >&2
     status=1
+    return
   fi
+  local attempt
+  for attempt in $(seq 1 "${ATTEMPTS}"); do
+    if "${binary}" "${args[@]}"; then
+      echo "perf_gate: wrote ${out}"
+      return
+    fi
+    if [[ "${attempt}" -lt "${ATTEMPTS}" ]]; then
+      echo "perf_gate: bench_${bench} gate failed (attempt ${attempt}/${ATTEMPTS}); retrying" >&2
+    fi
+  done
+  echo "perf_gate: bench_${bench} gate failed on all ${ATTEMPTS} attempts" >&2
+  status=1
   echo "perf_gate: wrote ${out}"
 }
 

@@ -141,7 +141,10 @@ class FlatHashMap {
   void Rehash(size_t new_capacity) {
     ACTOP_CHECK((new_capacity & (new_capacity - 1)) == 0);
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(new_capacity, Slot{});
+    // resize (default-insert) rather than assign (copy-fill): Value may be
+    // move-only (e.g. a PendingCall holding an InlineFunction continuation).
+    slots_.clear();
+    slots_.resize(new_capacity);
     const size_t mask = new_capacity - 1;
     for (Slot& s : old) {
       if (!s.full) continue;

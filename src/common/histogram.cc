@@ -87,7 +87,13 @@ int64_t Histogram::ValueAtQuantile(double q) const {
   if (count_ == 0) {
     return 0;
   }
-  q = std::clamp(q, 0.0, 1.0);
+  // NaN-safe clamp: std::clamp passes NaN through, and casting NaN to an
+  // integer below is undefined behavior. `!(q >= 0)` catches NaN too.
+  if (!(q >= 0.0)) {
+    q = 0.0;
+  } else if (q > 1.0) {
+    q = 1.0;
+  }
   const auto target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); i++) {

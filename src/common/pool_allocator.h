@@ -1,0 +1,124 @@
+// Size-class recycling allocator for node-based containers on the hot path.
+//
+// The runtime keeps several std::unordered_maps whose iteration order is
+// replay-determinism-load-bearing (activations, parked calls, partition
+// views), so they cannot be swapped for the open-addressing FlatHashMap.
+// Their steady-state cost is the per-node (and occasional bucket-array)
+// heap traffic. PoolAllocator reroutes those allocations through a
+// process-wide free-list cache keyed by exact block size: a map node freed
+// by one erase is handed back to the next insert of the same size, so
+// steady-state node churn touches the allocator zero times. Allocator
+// identity is not observable through the container — hashing, bucket
+// counts, and therefore iteration order are bit-identical to the default
+// allocator, which is what makes this swap replay-safe.
+//
+// Single-threaded, like everything else in the simulator. The pool is a
+// function-local static, so it outlives every simulation object and frees
+// its cached blocks at process exit (keeping ASan leak checking honest).
+
+#ifndef SRC_COMMON_POOL_ALLOCATOR_H_
+#define SRC_COMMON_POOL_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace actop {
+
+class SizeClassPool {
+ public:
+  static SizeClassPool& Instance() {
+    static SizeClassPool pool;
+    return pool;
+  }
+
+  SizeClassPool(const SizeClassPool&) = delete;
+  SizeClassPool& operator=(const SizeClassPool&) = delete;
+
+  void* Allocate(std::size_t bytes) {
+    if (bytes <= kMaxPooledBytes) {
+      auto it = classes_.find(bytes);
+      if (it != classes_.end() && !it->second.empty()) {
+        void* block = it->second.back();
+        it->second.pop_back();
+        recycled_++;
+        return block;
+      }
+    }
+    fresh_++;
+    return ::operator new(bytes);
+  }
+
+  void Release(void* block, std::size_t bytes) {
+    if (bytes <= kMaxPooledBytes) {
+      std::vector<void*>& blocks = classes_[bytes];
+      if (blocks.size() < kMaxCachedPerClass) {
+        blocks.push_back(block);
+        return;
+      }
+    }
+    ::operator delete(block);
+  }
+
+  // Introspection for tests.
+  uint64_t fresh_allocations() const { return fresh_; }
+  uint64_t recycled_allocations() const { return recycled_; }
+
+ private:
+  // Bucket arrays of very large maps pass through; pooling them would pin a
+  // high-water mark of large blocks for the process lifetime.
+  static constexpr std::size_t kMaxPooledBytes = 64 * 1024;
+  static constexpr std::size_t kMaxCachedPerClass = 1024;
+
+  SizeClassPool() = default;
+  ~SizeClassPool() {
+    for (auto& [bytes, blocks] : classes_) {
+      for (void* block : blocks) ::operator delete(block);
+    }
+  }
+
+  // The pool's own bookkeeping is cold (one entry per distinct block size),
+  // so a plain map is fine here.
+  std::unordered_map<std::size_t, std::vector<void*>> classes_;
+  uint64_t fresh_ = 0;
+  uint64_t recycled_ = 0;
+};
+
+// Stateless, always-equal allocator adapter over the process-wide pool.
+// Always-equal means containers propagate/swap it trivially and a node
+// allocated by one container instance may legally be freed by another.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+  using is_always_equal = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(SizeClassPool::Instance().Allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) { SizeClassPool::Instance().Release(p, n * sizeof(T)); }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>&) const {
+    return true;
+  }
+};
+
+// std::unordered_map with pooled nodes and bucket arrays. Same hashing, same
+// bucket counts, same iteration order as the plain container — only the
+// source of the memory differs.
+template <typename K, typename V, typename Hash = std::hash<K>>
+using PooledNodeMap =
+    std::unordered_map<K, V, Hash, std::equal_to<K>, PoolAllocator<std::pair<const K, V>>>;
+
+}  // namespace actop
+
+#endif  // SRC_COMMON_POOL_ALLOCATOR_H_

@@ -68,8 +68,8 @@ void ClientPool::IssueRequest() {
   env->reply_to = node_;
   env->created_at = sim_->now();
 
-  pending_.emplace(seq, sim_->now());
-  timeout_queue_.emplace_back(sim_->now() + config_.timeout, seq);
+  pending_.Insert(seq, sim_->now());
+  timeout_queue_.push_back({sim_->now() + config_.timeout, seq});
   issued_++;
 
   // Requests enter through a random gateway server.
@@ -83,12 +83,12 @@ void ClientPool::OnDeliver(NodeId from, uint32_t bytes, std::shared_ptr<void> ms
   (void)bytes;
   auto env = std::static_pointer_cast<Envelope>(msg);
   ACTOP_CHECK(env->kind == MessageKind::kResponse);
-  auto it = pending_.find(env->call_id.seq);
-  if (it == pending_.end()) {
+  const SimTime* sent_at = pending_.Find(env->call_id.seq);
+  if (sent_at == nullptr) {
     return;  // already timed out
   }
-  latency_.Record(sim_->now() - it->second);
-  pending_.erase(it);
+  latency_.Record(sim_->now() - *sent_at);
+  pending_.Erase(env->call_id.seq);
   completed_++;
 }
 
@@ -97,7 +97,7 @@ void ClientPool::SweepTimeouts() {
   while (!timeout_queue_.empty() && timeout_queue_.front().first <= now) {
     const uint64_t seq = timeout_queue_.front().second;
     timeout_queue_.pop_front();
-    if (pending_.erase(seq) > 0) {
+    if (pending_.Erase(seq)) {
       timeouts_++;
     }
   }

@@ -9,13 +9,14 @@
 #ifndef SRC_RUNTIME_CLIENT_H_
 #define SRC_RUNTIME_CLIENT_H_
 
-#include <deque>
 #include <functional>
 #include <unordered_map>
 
 #include "src/actor/actor.h"
+#include "src/common/flat_hash_map.h"
 #include "src/common/histogram.h"
 #include "src/common/ids.h"
+#include "src/common/ring_buffer.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
 #include "src/runtime/cluster.h"
@@ -62,8 +63,12 @@ class ClientPool {
   NodeId node_ = kNoNode;
   bool running_ = false;
 
-  std::unordered_map<uint64_t, SimTime> pending_;  // seq -> send time
-  std::deque<std::pair<SimTime, uint64_t>> timeout_queue_;
+  // seq -> send time. Touched once per request and once per response, never
+  // iterated — FlatHashMap keeps the per-request bookkeeping off the heap
+  // (see src/runtime/server.h's pending_calls_ for the rationale).
+  FlatHashMap<uint64_t, SimTime> pending_;
+  // Monotone deadlines, swept FIFO; ring keeps steady state allocation-free.
+  RingBuffer<std::pair<SimTime, uint64_t>> timeout_queue_;
   uint64_t next_seq_ = 1;
 
   Histogram latency_;

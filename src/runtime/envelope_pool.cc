@@ -1,12 +1,70 @@
 #include "src/runtime/envelope_pool.h"
 
+#include <vector>
+
 namespace actop {
+
+namespace {
+
+struct EnvelopePool {
+  // Bounds the free list so a one-off burst does not pin its high-water
+  // mark of envelopes (and their retained vector capacity) forever.
+  static constexpr size_t kMaxCached = 8192;
+
+  std::vector<Envelope*> free;
+  uint64_t fresh = 0;
+  uint64_t recycled = 0;
+
+  ~EnvelopePool() {
+    for (Envelope* env : free) delete env;
+  }
+};
+
+EnvelopePool& Pool() {
+  static EnvelopePool pool;
+  return pool;
+}
+
+// shared_ptr deleter: instead of destroying the envelope, reset it and park
+// it for the next MakeEnvelope(). The control block is released separately
+// through EnvelopeBlockCache by the allocator below.
+struct EnvelopeRecycler {
+  void operator()(Envelope* env) const noexcept {
+    EnvelopePool& pool = Pool();
+    if (pool.free.size() < EnvelopePool::kMaxCached) {
+      env->ResetForReuse();
+      pool.free.push_back(env);
+    } else {
+      delete env;
+    }
+  }
+};
+
+}  // namespace
 
 RecyclingBlockCache& EnvelopeBlockCache() {
   static RecyclingBlockCache cache;
   return cache;
 }
 
-std::shared_ptr<Envelope> MakeEnvelope() { return MakePooled<Envelope>(EnvelopeBlockCache()); }
+std::shared_ptr<Envelope> MakeEnvelope() {
+  EnvelopePool& pool = Pool();
+  Envelope* env;
+  if (!pool.free.empty()) {
+    env = pool.free.back();
+    pool.free.pop_back();
+    pool.recycled++;
+  } else {
+    env = new Envelope();
+    pool.fresh++;
+  }
+  return std::shared_ptr<Envelope>(env, EnvelopeRecycler{},
+                                   RecyclingAllocator<Envelope>(&EnvelopeBlockCache()));
+}
+
+EnvelopePoolStats GetEnvelopePoolStats() {
+  const EnvelopePool& pool = Pool();
+  return EnvelopePoolStats{pool.fresh, pool.recycled, pool.free.size()};
+}
 
 }  // namespace actop

@@ -2,18 +2,29 @@
 //
 // Every message in the system is carried by a shared_ptr<Envelope>; the seed
 // runtime created each one with make_shared, paying a heap allocation per
-// message. MakeEnvelope() recycles the combined object+control-block through
-// a process-wide RecyclingBlockCache instead. The returned envelope is
-// freshly default-constructed — call sites that used make_shared<Envelope>()
-// switch over with no behavioral change.
+// message. MakeEnvelope() recycles both pieces of that:
 //
-// The cache is a function-local static (the simulator is single-threaded per
-// process; benches and tests each run one cluster at a time), so it outlives
-// every simulation object and frees its cached blocks at process exit.
+//   * The Envelope object itself lives on a retained-object free list. When
+//     the last reference drops, the envelope is ResetForReuse() — scalars
+//     back to defaults, control-payload vectors cleared but keeping their
+//     capacity — and parked for the next MakeEnvelope(). Recycling the
+//     *object* rather than raw memory is what makes reuse capacity-
+//     preserving: a destroy-and-reconstruct scheme would free the
+//     PartitionExchangeRequest/Response vectors on every round trip.
+//   * The shared_ptr control block (separate from the object under this
+//     scheme) allocates through a RecyclingBlockCache, so it is also free
+//     after warm-up.
+//
+// Both pools are function-local statics (the simulator is single-threaded
+// per process; benches and tests each run one cluster at a time), so they
+// outlive every simulation object and free their cached blocks at process
+// exit.
 
 #ifndef SRC_RUNTIME_ENVELOPE_POOL_H_
 #define SRC_RUNTIME_ENVELOPE_POOL_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 
 #include "src/common/recycling_pool.h"
@@ -21,11 +32,21 @@
 
 namespace actop {
 
-// The process-wide envelope block cache (exposed for stats and tests).
+// The process-wide control-block cache (exposed for stats and tests).
 RecyclingBlockCache& EnvelopeBlockCache();
 
-// Returns a default-constructed pooled envelope.
+// Returns a pooled envelope with every field at its default-constructed
+// value (fresh construction or ResetForReuse — indistinguishable except for
+// retained vector capacity inside the control payload).
 std::shared_ptr<Envelope> MakeEnvelope();
+
+// Introspection for tests: lifetime counts of the retained-object pool.
+struct EnvelopePoolStats {
+  uint64_t fresh = 0;     // envelopes constructed with operator new
+  uint64_t recycled = 0;  // envelopes handed back out from the free list
+  size_t cached = 0;      // envelopes currently parked on the free list
+};
+EnvelopePoolStats GetEnvelopePoolStats();
 
 }  // namespace actop
 

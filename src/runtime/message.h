@@ -120,6 +120,43 @@ struct Envelope {
   // Whether this envelope crossed the network (LPC deliveries skip
   // serialization but pay a deep-copy cost at the callee).
   bool via_network = false;
+
+  // Returns every field to its default-constructed value while preserving
+  // heap capacity inside the control payload. Called by the envelope pool
+  // when an envelope is recycled (see src/runtime/envelope_pool.h): a reused
+  // envelope must be indistinguishable from a fresh one to its next user —
+  // kind, hops, via_network, created_at and the control variant's *values*
+  // are all reset — but the partition-exchange vectors keep their capacity
+  // so steady-state exchange traffic stops reallocating them. The variant's
+  // active alternative is the one place reuse is visible (an exchange
+  // payload stays an exchange alternative, emptied); no reader consults
+  // `control` without first matching `kind`/get_if, so the retained
+  // alternative is unobservable in practice and the state-leak test pins
+  // that.
+  void ResetForReuse() {
+    kind = MessageKind::kCall;
+    call_id = CallId{};
+    target = kNoActor;
+    source_actor = kNoActor;
+    method = 0;
+    payload_bytes = 0;
+    app_data = 0;
+    hops = 0;
+    reply_to = kNoNode;
+    created_at = 0;
+    via_network = false;
+    if (auto* req = std::get_if<PartitionExchangeRequest>(&control)) {
+      req->from_num_vertices = 0;
+      req->candidates.clear();  // keeps capacity
+      req->exchange_id = 0;
+    } else if (auto* resp = std::get_if<PartitionExchangeResponse>(&control)) {
+      resp->rejected = false;
+      resp->accepted.clear();  // keeps capacity
+      resp->exchange_id = 0;
+    } else {
+      control = ControlPayload{};  // POD alternatives: reset to the default
+    }
+  }
 };
 
 }  // namespace actop

@@ -56,9 +56,9 @@ void PartitionAgent::Stop() {
 void PartitionAgent::ObserveEdge(ActorId local, ActorId peer, ServerId dest) {
   edges_.Observe(EdgeKey{local, peer});
   if (dest != kNoServer && dest != server_->id()) {
-    last_seen_[peer] = dest;
+    last_seen_.Insert(peer, dest);
   } else if (dest == server_->id()) {
-    last_seen_.erase(peer);
+    last_seen_.Erase(peer);
   }
 }
 
@@ -79,8 +79,8 @@ LocalGraphView PartitionAgent::BuildView() const {
     }
     ServerId loc = server_->location_cache().Peek(peer);
     if (loc == kNoServer) {
-      if (auto it = last_seen_.find(peer); it != last_seen_.end()) {
-        loc = it->second;
+      if (const ServerId* seen = last_seen_.Find(peer)) {
+        loc = *seen;
       }
     }
     if (loc != kNoServer) {
@@ -140,12 +140,15 @@ void PartitionAgent::TryNextPeer() {
     exchange_in_flight_ = false;
     return;
   }
-  const PeerPlan& plan = pending_plans_[next_plan_++];
+  PeerPlan& plan = pending_plans_[next_plan_++];
   exchange_in_flight_ = true;
   exchange_sent_at_ = sim_->now();
   PartitionExchangeRequest request;
   request.from_num_vertices = server_->num_activations();
-  request.candidates = plan.candidates;
+  // Each plan is tried at most once per round, so the candidates move onto
+  // the wire instead of being copied (a deep copy per try: one vector per
+  // candidate's edge list).
+  request.candidates = std::move(plan.candidates);
   request.exchange_id = next_exchange_id_++;
   server_->SendControl(plan.peer, std::move(request));
 }
@@ -158,13 +161,15 @@ void PartitionAgent::OnExchangeRequest(ServerId from, const PartitionExchangeReq
     server_->SendControl(from, std::move(response));
     return;
   }
-  ExchangeRequest algo_request;
-  algo_request.from = from;
-  algo_request.from_num_vertices = request.from_num_vertices;
-  algo_request.candidates = request.candidates;
+  // Translate into the algorithm's struct through a reused scratch: the
+  // copy-assign recycles the candidate buffers from the previous request
+  // instead of deep-copying into fresh vectors every time.
+  exchange_scratch_.from = from;
+  exchange_scratch_.from_num_vertices = request.from_num_vertices;
+  exchange_scratch_.from_total_size = -1.0;
+  exchange_scratch_.candidates = request.candidates;
   const LocalGraphView view = BuildView();
-  const ExchangeDecision decision =
-      DecideExchange(view, algo_request, CurrentPairwiseConfig());
+  ExchangeDecision decision = DecideExchange(view, exchange_scratch_, CurrentPairwiseConfig());
 
   // Transfer T0 to the requester; vertices busy with in-flight calls are
   // skipped this round (they will surface again if the edge stays heavy).
@@ -174,7 +179,7 @@ void PartitionAgent::OnExchangeRequest(ServerId from, const PartitionExchangeReq
       migrated++;
     }
   }
-  response.accepted = decision.accepted;
+  response.accepted = std::move(decision.accepted);
   if (!response.accepted.empty() || migrated > 0) {
     last_exchange_ = sim_->now();
   }

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_hash_map.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
@@ -94,8 +95,12 @@ class PartitionAgent {
 
   SpaceSaving<EdgeKey, EdgeKeyHash> edges_;
   // Last observed destination for peers we send to (fallback when the
-  // location cache has evicted the entry).
-  std::unordered_map<ActorId, ServerId> last_seen_;
+  // location cache has evicted the entry). Updated per observed edge and
+  // never iterated, so the open-addressing map keeps it off the heap.
+  FlatHashMap<ActorId, ServerId> last_seen_;
+  // Reused across OnExchangeRequest calls so translating the wire request
+  // into the algorithm's struct recycles the candidate buffers.
+  ExchangeRequest exchange_scratch_;
 
   EventId round_timer_ = 0;
   EventId decay_timer_ = 0;

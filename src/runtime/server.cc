@@ -12,6 +12,15 @@ namespace actop {
 namespace {
 const char* const kStageNames[Server::kNumStages] = {"receive", "worker", "server_sender",
                                                      "client_sender"};
+
+// Combined object+control-block cache for ServerCallContext: one context is
+// created per delivered call, so recycling the make_shared block keeps the
+// turn-dispatch path off the allocator. Function-local static like the
+// envelope pool (single-threaded process; outlives every simulation).
+RecyclingBlockCache& CallContextBlockCache() {
+  static RecyclingBlockCache cache;
+  return cache;
+}
 }  // namespace
 
 // Concrete CallContext bound to one delivered call. Kept alive by shared_ptr
@@ -30,12 +39,12 @@ class ServerCallContext : public CallContext,
   SimTime now() const override { return server_->sim_->now(); }
 
   void Call(ActorId target, MethodId method, uint32_t payload_bytes,
-            std::function<void(const Response&)> on_response) override {
+            ResponseFn on_response) override {
     server_->IssueCall(self(), target, method, 0, payload_bytes, std::move(on_response));
   }
 
   void CallWithData(ActorId target, MethodId method, uint64_t app_data, uint32_t payload_bytes,
-                    std::function<void(const Response&)> on_response) override {
+                    ResponseFn on_response) override {
     server_->IssueCall(self(), target, method, app_data, payload_bytes, std::move(on_response));
   }
 
@@ -213,7 +222,14 @@ void Server::RouteCall(std::shared_ptr<Envelope> env) {
 
 void Server::ResolveViaDirectory(std::shared_ptr<Envelope> env) {
   const ActorId target = env->target;
-  auto& parked = parked_calls_[target];
+  auto [park_it, inserted] = parked_calls_.try_emplace(target);
+  ParkedCalls& parked = park_it->second;
+  if (inserted && !parked_entry_pool_.empty()) {
+    // Reuse a retired entry buffer (returned by the drain in
+    // OnDirectoryAnswer) instead of growing a fresh vector per lookup.
+    parked.entries = std::move(parked_entry_pool_.back());
+    parked_entry_pool_.pop_back();
+  }
   parked.entries.push_back(std::move(env));
   if (parked.entries.size() > 1) {
     return;  // lookup already in flight
@@ -293,6 +309,12 @@ void Server::OnDirectoryAnswer(ActorId actor, ServerId owner, uint64_t token) {
   if (it == parked_calls_.end()) {
     return;
   }
+  // Move-then-erase-before-dispatch: the dispatch below can re-enter server
+  // code that inserts into parked_calls_ (e.g. a delivered turn issuing a
+  // sub-call to an unresolved actor, which parks it right back — possibly
+  // under this same key). Draining a moved-out local and erasing the map
+  // entry first keeps that re-entry safe; iterating the live map here would
+  // be invalidated by it.
   std::vector<std::shared_ptr<Envelope>> envs = std::move(it->second.entries);
   parked_calls_.erase(it);
   for (auto& env : envs) {
@@ -302,6 +324,8 @@ void Server::OnDirectoryAnswer(ActorId actor, ServerId owner, uint64_t token) {
       ForwardCall(std::move(env), owner);
     }
   }
+  envs.clear();
+  parked_entry_pool_.push_back(std::move(envs));
 }
 
 void Server::ActivateAndDeliver(std::shared_ptr<Envelope> env, uint64_t token) {
@@ -360,12 +384,15 @@ void Server::StartTurn(ActorId actor, std::shared_ptr<Envelope> env) {
   ev.compute = compute;
   ev.blocking = costs.handler_blocking;
   const uint64_t epoch = crash_epoch_;
-  ev.done = [this, actor, env = std::move(env), epoch]() mutable {
+  // [this, env, epoch] is 32 bytes — the actor id is re-read from the
+  // envelope so the capture stays inline in the event engine.
+  ev.done = [this, env = std::move(env), epoch]() mutable {
+    const ActorId actor = env->target;
     auto act_it = activations_.find(actor);
     if (epoch != crash_epoch_ || act_it == activations_.end()) {
       return;  // server crashed while the turn was queued
     }
-    auto ctx = std::make_shared<ServerCallContext>(this, env);
+    auto ctx = MakePooled<ServerCallContext>(CallContextBlockCache(), this, std::move(env));
     act_it->second.instance->OnCall(*ctx);
     if (!ctx->replied()) {
       // The actor will Reply from a sub-call continuation; keep the context
@@ -409,7 +436,7 @@ void Server::FinishTurn(ActorId actor) {
 // ---------------------------------------------------------------------------
 
 void Server::IssueCall(ActorId from_actor, ActorId target, MethodId method, uint64_t app_data,
-                       uint32_t bytes, std::function<void(const Response&)> on_response) {
+                       uint32_t bytes, ResponseFn on_response) {
   auto env = MakeEnvelope();
   env->kind = MessageKind::kCall;
   env->target = target;
@@ -503,15 +530,51 @@ void Server::HandleResponse(std::shared_ptr<Envelope> env) {
 
   // Response continuations run as their own worker-stage turns (they may
   // interleave with the issuer's queued calls, matching Orleans' handling of
-  // an activation's own continuations).
+  // an activation's own continuations). The continuation parks in the
+  // response slab so the event captures only [this, slot] (inline); a
+  // rejected event (queue shed under overload) reclaims the slot without
+  // running the continuation, matching the old drop semantics.
   StageEvent ev;
   ev.compute = config_.response_handling_compute;
   Response response;
   response.from = env->source_actor;
   response.payload_bytes = env->payload_bytes;
   response.failed = false;
-  ev.done = [on_response = std::move(pending.on_response), response] { on_response(response); };
+  const uint32_t slot = AcquireResponseSlot(std::move(pending.on_response), response);
+  ev.done = [this, slot] { RunResponseSlot(slot); };
+  ev.rejected = [this, slot] { FreeResponseSlot(slot); };
   stages_[kWorker]->Enqueue(std::move(ev));
+}
+
+uint32_t Server::AcquireResponseSlot(ResponseFn fn, const Response& response) {
+  uint32_t slot;
+  if (response_free_ != kNilSlot) {
+    slot = response_free_;
+    response_free_ = response_slots_[slot].free_next;
+  } else {
+    slot = static_cast<uint32_t>(response_slots_.size());
+    response_slots_.emplace_back();
+  }
+  PendingResponse& parked = response_slots_[slot];
+  parked.fn = std::move(fn);
+  parked.response = response;
+  return slot;
+}
+
+void Server::RunResponseSlot(uint32_t slot) {
+  // Move out and free the slot before invoking: the continuation may issue
+  // calls whose responses acquire new slots (growing the slab vector).
+  ResponseFn fn = std::move(response_slots_[slot].fn);
+  const Response response = response_slots_[slot].response;
+  FreeResponseSlot(slot);
+  fn(response);
+}
+
+void Server::FreeResponseSlot(uint32_t slot) {
+  PendingResponse& parked = response_slots_[slot];
+  parked.fn = nullptr;
+  parked.free_next = response_free_;
+  response_free_ = slot;
 }
 
 // ---------------------------------------------------------------------------
@@ -684,19 +747,26 @@ void Server::SweepTimeouts() {
     FailPendingCall(seq);
   }
   // Retry directory lookups whose answer was lost (e.g. dropped by a
-  // saturated receive queue or a crashed home shard).
+  // saturated receive queue or a crashed home shard). Collect-then-act: the
+  // retry actions below reach back into routing code (SendControl, the
+  // deferred directory answer) which may insert into parked_calls_, so the
+  // live map must not be under iteration while they run. The scratch vector
+  // preserves the map's iteration order and is reused across sweeps.
+  sweep_retry_scratch_.clear();
   for (auto& [actor, parked] : parked_calls_) {
     if (now - parked.since < config_.call_timeout / 3) {
       continue;
     }
     parked.since = now;
+    sweep_retry_scratch_.push_back(actor);
+  }
+  for (const ActorId actor : sweep_retry_scratch_) {
     const ServerId home = DirectoryHomeOf(actor, cluster_->num_servers());
     const ServerId suggestion = SuggestPlacement(actor);
     if (home == id_) {
       const DirEntry entry = directory_shard_.LookupOrRegister(actor, suggestion);
-      const ActorId actor_copy = actor;
-      sim_->ScheduleAfter(0, [this, actor_copy, entry] {
-        OnDirectoryAnswer(actor_copy, entry.owner, entry.token);
+      sim_->ScheduleAfter(0, [this, actor, entry] {
+        OnDirectoryAnswer(actor, entry.owner, entry.token);
       });
     } else {
       SendControl(home, DirLookupRequest{.actor = actor, .suggested_owner = suggestion,
@@ -718,9 +788,8 @@ void Server::FailPendingCall(uint64_t seq) {
   }
   Response response;
   response.failed = true;
-  sim_->ScheduleAfter(0, [on_response = std::move(pending.on_response), response] {
-    on_response(response);
-  });
+  const uint32_t slot = AcquireResponseSlot(std::move(pending.on_response), response);
+  sim_->ScheduleAfter(0, [this, slot] { RunResponseSlot(slot); });
 }
 
 }  // namespace actop

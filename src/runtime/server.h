@@ -30,6 +30,7 @@
 #include "src/actor/location_cache.h"
 #include "src/common/flat_hash_map.h"
 #include "src/common/ids.h"
+#include "src/common/pool_allocator.h"
 #include "src/common/ring_buffer.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
@@ -222,9 +223,21 @@ class Server : public ThreadHost {
 
   struct PendingCall {
     ActorId issuer = kNoActor;  // actor awaiting the response (kNoActor: none)
-    std::function<void(const Response&)> on_response;
+    ResponseFn on_response;
     SimTime issued_at = 0;
     bool remote = false;
+  };
+
+  // A response continuation parked between HandleResponse/FailPendingCall
+  // and the worker-stage turn that runs it. Slab-allocated so the turn's
+  // event captures only [this, slot] and stays inline in the event engine
+  // (a [ResponseFn, Response] capture would spill to the heap per response);
+  // slots recycle through a free list (free_next), same pattern as the
+  // stage's InService slab.
+  struct PendingResponse {
+    ResponseFn fn;
+    Response response;
+    uint32_t free_next = kNilSlot;
   };
 
   // -- message paths --
@@ -249,8 +262,13 @@ class Server : public ThreadHost {
 
   // -- sub-call issue (from call contexts) --
   void IssueCall(ActorId from_actor, ActorId target, MethodId method, uint64_t app_data,
-                 uint32_t bytes, std::function<void(const Response&)> on_response);
+                 uint32_t bytes, ResponseFn on_response);
   void CompleteReply(ActorId from_actor, const Envelope& original_call, uint32_t bytes);
+
+  // -- response-continuation slab --
+  uint32_t AcquireResponseSlot(ResponseFn fn, const Response& response);
+  void RunResponseSlot(uint32_t slot);
+  void FreeResponseSlot(uint32_t slot);
 
   void RetainContext(void* key, std::shared_ptr<void> context);
   std::shared_ptr<void> ReleaseContext(void* key);
@@ -273,7 +291,7 @@ class Server : public ThreadHost {
   std::unique_ptr<CpuModel> cpu_;
   std::vector<std::unique_ptr<Stage>> stages_;
 
-  std::unordered_map<ActorId, Activation> activations_;
+  PooledNodeMap<ActorId, Activation> activations_;
   LocationCache location_cache_;
   DirectoryShard directory_shard_;
 
@@ -282,16 +300,29 @@ class Server : public ThreadHost {
   // once per response on the message hot path, is never iterated (iteration
   // order could never be determinism-load-bearing), and open addressing
   // avoids the per-node allocation of the std containers. activations_ and
-  // parked_calls_ below stay unordered_map deliberately: they ARE iterated
-  // (ActiveActors, the SweepTimeouts retry loop), and replay determinism
-  // depends on that iteration order staying exactly as the seed's.
+  // parked_calls_ below stay std::unordered_map-shaped deliberately: they
+  // ARE iterated (ActiveActors, the SweepTimeouts retry loop), and replay
+  // determinism depends on that iteration order staying exactly as the
+  // seed's — PooledNodeMap only swaps the node allocator, which leaves
+  // hashing, bucket counts and therefore iteration order untouched.
   FlatHashMap<uint64_t, PendingCall> pending_calls_;
   uint64_t next_call_seq_ = 1;
   // Monotone deadlines, swept FIFO; ring keeps steady state allocation-free.
   RingBuffer<std::pair<SimTime, uint64_t>> timeout_queue_;
 
+  // Parked response continuations awaiting their worker-stage turn.
+  static constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
+  std::vector<PendingResponse> response_slots_;
+  uint32_t response_free_ = kNilSlot;
+
   // Calls parked while a directory lookup is in flight, keyed by actor.
-  std::unordered_map<ActorId, ParkedCalls> parked_calls_;
+  PooledNodeMap<ActorId, ParkedCalls> parked_calls_;
+  // Retired parked-entry buffers, recycled by the next park so the
+  // park/drain cycle stops allocating vectors in steady state.
+  std::vector<std::vector<std::shared_ptr<Envelope>>> parked_entry_pool_;
+  // Reused by SweepTimeouts' retry pass (collect-then-act; see the comment
+  // there).
+  std::vector<ActorId> sweep_retry_scratch_;
   uint64_t next_exchange_token_ = 1;
 
   // Registration tokens this server has unregistered but whose DirUnregister
@@ -308,7 +339,7 @@ class Server : public ThreadHost {
     uint64_t token = 0;
     SimTime expires = 0;
   };
-  std::unordered_map<ActorId, UnregisterFence> pending_unregisters_;
+  PooledNodeMap<ActorId, UnregisterFence> pending_unregisters_;
 
   // Unreplied call contexts: an actor may Reply() from a sub-call
   // continuation long after its turn ended, so the runtime keeps the context

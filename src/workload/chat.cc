@@ -4,6 +4,7 @@
 
 #include "src/actor/actor.h"
 #include "src/common/check.h"
+#include "src/workload/fanout_counter.h"
 
 namespace actop {
 
@@ -40,8 +41,8 @@ class ChatUserActor : public Actor {
         const ActorId old_room = room_;
         room_ = new_room;
         const uint64_t my_key = ActorKeyOf(ctx.self());
-        auto remaining = std::make_shared<int>((old_room != kNoActor ? 1 : 0) +
-                                               (new_room != kNoActor ? 1 : 0));
+        auto remaining = MakeFanoutCounter((old_room != kNoActor ? 1 : 0) +
+                                           (new_room != kNoActor ? 1 : 0));
         if (*remaining == 0) {
           ctx.Reply(16);
           return;

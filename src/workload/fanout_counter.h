@@ -1,0 +1,25 @@
+// Pooled fan-out counters for workload actors.
+//
+// The fan-out pattern (game broadcast, chat join) issues N sub-calls whose
+// continuations share a remaining-count; the seed used make_shared<int> for
+// it, which costs one combined object+control-block heap allocation per
+// fan-out. MakeFanoutCounter routes that allocation through a process-wide
+// RecyclingBlockCache so steady-state fan-outs reuse the same blocks.
+
+#ifndef SRC_WORKLOAD_FANOUT_COUNTER_H_
+#define SRC_WORKLOAD_FANOUT_COUNTER_H_
+
+#include <memory>
+
+#include "src/common/recycling_pool.h"
+
+namespace actop {
+
+inline std::shared_ptr<int> MakeFanoutCounter(int initial) {
+  static RecyclingBlockCache cache;
+  return MakePooled<int>(cache, initial);
+}
+
+}  // namespace actop
+
+#endif  // SRC_WORKLOAD_FANOUT_COUNTER_H_

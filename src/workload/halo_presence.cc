@@ -5,6 +5,7 @@
 
 #include "src/actor/actor.h"
 #include "src/common/check.h"
+#include "src/workload/fanout_counter.h"
 
 namespace actop {
 
@@ -73,7 +74,7 @@ class GameActor : public Actor {
           ctx.Reply(config_->status_bytes);
           return;
         }
-        auto remaining = std::make_shared<int>(static_cast<int>(members_.size()));
+        auto remaining = MakeFanoutCounter(static_cast<int>(members_.size()));
         CallContext* call = &ctx;
         for (const ActorId member : members_) {
           ctx.Call(member, kUpdate, config_->update_bytes,
@@ -91,7 +92,7 @@ class GameActor : public Actor {
         auto roster_it = state_->rosters.find(game_key);
         ACTOP_CHECK(roster_it != state_->rosters.end());
         members_ = roster_it->second;
-        auto remaining = std::make_shared<int>(static_cast<int>(members_.size()));
+        auto remaining = MakeFanoutCounter(static_cast<int>(members_.size()));
         CallContext* call = &ctx;
         for (const ActorId member : members_) {
           ctx.CallWithData(member, kSetGame, game_key, 64,
@@ -108,7 +109,7 @@ class GameActor : public Actor {
           ctx.Reply(16);
           return;
         }
-        auto remaining = std::make_shared<int>(static_cast<int>(members_.size()));
+        auto remaining = MakeFanoutCounter(static_cast<int>(members_.size()));
         members_.clear();
         const uint64_t game_key = ActorKeyOf(ctx.self());
         auto roster_it = state_->rosters.find(game_key);
@@ -216,17 +217,17 @@ void HaloWorkload::TryFormGames() {
   // Keep roughly idle_pool_target players waiting; everyone else plays.
   while (static_cast<int>(idle_pool_.size()) >=
          std::max(config_.players_per_game, config_.idle_pool_target)) {
-    std::vector<ActorId> members;
-    members.reserve(static_cast<size_t>(config_.players_per_game));
+    members_scratch_.clear();
+    members_scratch_.reserve(static_cast<size_t>(config_.players_per_game));
     for (int i = 0; i < config_.players_per_game; i++) {
       const size_t pick = idle_pool_.size() == 1
                               ? 0
                               : static_cast<size_t>(rng_.NextBounded(idle_pool_.size()));
-      members.push_back(idle_pool_[pick]);
+      members_scratch_.push_back(idle_pool_[pick]);
       idle_pool_[pick] = idle_pool_.back();
       idle_pool_.pop_back();
     }
-    StartGame(std::move(members));
+    StartGame(members_scratch_);
   }
   // Start the client load once the first games exist.
   if (!in_game_players_.empty() && !started_clients_) {
@@ -235,7 +236,7 @@ void HaloWorkload::TryFormGames() {
   }
 }
 
-void HaloWorkload::StartGame(std::vector<ActorId> members) {
+void HaloWorkload::StartGame(const std::vector<ActorId>& members) {
   const uint64_t game_key = next_game_key_++;
   const ActorId game = MakeActorId(kGameActorType, game_key);
   state_->rosters[game_key] = members;
@@ -254,19 +255,26 @@ void HaloWorkload::StartGame(std::vector<ActorId> members) {
     // their lifetime, so game endings are desynchronized from the start.
     duration = rng_.NextUniformDuration(Seconds(1), std::max<SimDuration>(duration, Seconds(2)));
   }
-  cluster_->sim().ScheduleAfter(duration, [this, game_key, members = std::move(members)] {
-    FinishGame(game_key, members);
-  });
+  // The timer re-reads the roster from state_->rosters at game end instead
+  // of owning a copy: the entry is immutable between here and the EndGame
+  // turn that erases it, and a [this, game_key] capture stays inline in the
+  // event engine.
+  cluster_->sim().ScheduleAfter(duration, [this, game_key] { FinishGame(game_key); });
 }
 
-void HaloWorkload::FinishGame(uint64_t game_key, std::vector<ActorId> members) {
+void HaloWorkload::FinishGame(uint64_t game_key) {
   if (!running_) {
     return;
   }
+  // Copy the roster into reused scratch before issuing EndGame: the game
+  // actor's EndGame turn (asynchronous, after this frame) erases the entry.
+  auto roster_it = state_->rosters.find(game_key);
+  ACTOP_CHECK(roster_it != state_->rosters.end());
+  finish_scratch_.assign(roster_it->second.begin(), roster_it->second.end());
   const ActorId game = MakeActorId(kGameActorType, game_key);
   driver_.Call(game, kEndGame, game_key, 128, nullptr);
   active_games_--;
-  for (const ActorId member : members) {
+  for (const ActorId member : finish_scratch_) {
     // Remove from the in-game sampling vector (swap-remove via index map).
     if (auto idx_it = in_game_index_.find(member); idx_it != in_game_index_.end()) {
       const size_t idx = idx_it->second;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/pool_allocator.h"
 #include "src/common/rng.h"
 #include "src/runtime/client.h"
 #include "src/runtime/cluster.h"
@@ -71,8 +72,10 @@ struct HaloWorkloadConfig {
 
 // Shared state between the driver and the actors (matchmaking table).
 struct HaloState {
-  // Roster per game id (set by the driver before StartGame).
-  std::unordered_map<uint64_t, std::vector<ActorId>> rosters;
+  // Roster per game id (set by the driver before StartGame). Node-pooled:
+  // games start and end continuously, so the roster entries churn in steady
+  // state.
+  PooledNodeMap<uint64_t, std::vector<ActorId>> rosters;
   uint64_t broadcasts = 0;   // completed game broadcasts (test oracle)
   uint64_t updates = 0;      // player Update turns executed
 };
@@ -102,8 +105,8 @@ class HaloWorkload {
 
   void AddNewPlayer();
   void TryFormGames();
-  void StartGame(std::vector<ActorId> members);
-  void FinishGame(uint64_t game_key, std::vector<ActorId> members);
+  void StartGame(const std::vector<ActorId>& members);
+  void FinishGame(uint64_t game_key);
   SimDuration ScaledUniform(SimDuration lo, SimDuration hi);
   bool PickTarget(Rng& rng, ActorId* target, MethodId* method);
 
@@ -114,10 +117,16 @@ class HaloWorkload {
   ClientPool clients_;
   DirectClient driver_;
 
-  std::unordered_map<ActorId, PlayerInfo> player_game_;  // all live players
+  PooledNodeMap<ActorId, PlayerInfo> player_game_;  // all live players
   std::vector<ActorId> idle_pool_;
   std::vector<ActorId> in_game_players_;  // sampled by the client target fn
-  std::unordered_map<ActorId, size_t> in_game_index_;  // player -> slot above
+  PooledNodeMap<ActorId, size_t> in_game_index_;  // player -> slot above
+  // Scratch rosters reused across games: TryFormGames assembles the next
+  // game's members here, FinishGame copies the ending game's roster out of
+  // state_->rosters here (the roster entry itself is erased later, by the
+  // game actor's EndGame turn).
+  std::vector<ActorId> members_scratch_;
+  std::vector<ActorId> finish_scratch_;
   bool started_clients_ = false;
   bool first_generation_ = true;
   uint64_t next_player_key_ = 1;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "src/common/rng.h"
 
 namespace actop {
@@ -130,6 +133,68 @@ TEST(HistogramTest, CdfAtBasics) {
   EXPECT_NEAR(h.CdfAt(499), 0.9, 0.01);
   EXPECT_NEAR(h.CdfAt(501), 1.0, 0.01);
   EXPECT_NEAR(h.CdfAt(0), 0.0, 0.01);
+}
+
+// Out-of-range pinning: samples far beyond the top bucket (p999-scale
+// outliers, timer wrap artifacts) must saturate into the last bucket instead
+// of indexing past it, and must stay consistent with min()/max().
+TEST(HistogramTest, HugeValuesSaturateTopBucket) {
+  Histogram h;
+  const int64_t huge = std::numeric_limits<int64_t>::max();
+  h.Record(huge);
+  h.Record(huge - 1);
+  h.Record(int64_t{1} << 62);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), huge);
+  // The top bucket midpoint would exceed max(); ValueAtQuantile clamps into
+  // the observed range, so all quantiles land inside [min, max].
+  for (double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    const int64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, h.min()) << "quantile " << q;
+    EXPECT_LE(v, h.max()) << "quantile " << q;
+  }
+  EXPECT_DOUBLE_EQ(h.CdfAt(huge), 1.0);
+}
+
+TEST(HistogramTest, MixedOutliersKeepQuantilesOrdered) {
+  Histogram h;
+  for (int i = 0; i < 999; i++) {
+    h.Record(100);
+  }
+  h.Record(int64_t{1} << 61);  // a single p999-scale outlier
+  EXPECT_EQ(h.p50(), 100);
+  EXPECT_EQ(h.p99(), 100);
+  EXPECT_GT(h.ValueAtQuantile(1.0), int64_t{1} << 60);
+  EXPECT_LE(h.ValueAtQuantile(1.0), h.max());
+}
+
+TEST(HistogramTest, NegativeAndZeroSamplesPinToZero) {
+  Histogram h;
+  h.Record(std::numeric_limits<int64_t>::min());
+  h.Record(-1);
+  h.Record(0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.p50(), 0);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.CdfAt(-100), 1.0);  // clamped to the zero bucket
+}
+
+// Degenerate quantile arguments must not invoke UB (casting NaN/negative
+// doubles to integers) — they pin to the nearest valid quantile.
+TEST(HistogramTest, DegenerateQuantileArgumentsArePinned) {
+  Histogram h;
+  h.Record(10);
+  h.Record(1000);
+  EXPECT_EQ(h.ValueAtQuantile(-1.0), 10);
+  EXPECT_EQ(h.ValueAtQuantile(2.0), 1000);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(h.ValueAtQuantile(nan), 10);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(h.ValueAtQuantile(inf), 1000);
+  EXPECT_EQ(h.ValueAtQuantile(-inf), 10);
 }
 
 // Property sweep: for many magnitudes, the reported p50 of a constant stream

@@ -1,0 +1,122 @@
+#include "src/common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace actop {
+namespace {
+
+TEST(InlineFunctionTest, EmptyAndNullptrCompare) {
+  InlineFunction<int(int)> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+  EXPECT_FALSE(f != nullptr);
+
+  InlineFunction<int(int)> g = nullptr;
+  EXPECT_TRUE(g == nullptr);
+
+  g = [](int x) { return x + 1; };
+  EXPECT_TRUE(g != nullptr);
+  EXPECT_EQ(g(41), 42);
+  g = nullptr;
+  EXPECT_TRUE(g == nullptr);
+}
+
+TEST(InlineFunctionTest, ForwardsArgumentsAndReturn) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+
+  // Reference arguments pass through without copying.
+  InlineFunction<void(std::string&)> append = [](std::string& s) { s += "x"; };
+  std::string s = "a";
+  append(s);
+  append(s);
+  EXPECT_EQ(s, "axx");
+}
+
+TEST(InlineFunctionTest, SmallCapturesStayInline) {
+  int hits = 0;
+  int* p = &hits;
+  // Three pointers (24 bytes) — beyond std::function's inline budget for
+  // non-trivial captures, comfortably inside the 48-byte default here.
+  auto sp = std::make_shared<int>(7);
+  InlineFunction<void(const int&)> f = [p, sp, q = &hits](const int& d) {
+    *p += d + *sp;
+    *q += 1;
+  };
+  EXPECT_FALSE(f.heap_allocated());
+  f(1);
+  EXPECT_EQ(hits, 9);  // 1 + 7 + 1
+}
+
+TEST(InlineFunctionTest, OversizedCapturesSpillToHeap) {
+  struct Big {
+    char data[128] = {};
+  };
+  Big big;
+  InlineFunction<int(int)> f = [big](int x) { return x + big.data[0]; };
+  EXPECT_TRUE(f.heap_allocated());
+  EXPECT_EQ(f(5), 5);
+}
+
+TEST(InlineFunctionTest, MovePreservesCallableAndEmptiesSource) {
+  auto counter = std::make_shared<int>(0);
+  InlineFunction<void(int)> f = [counter](int d) { *counter += d; };
+  const long uses_before = counter.use_count();
+
+  InlineFunction<void(int)> g = std::move(f);
+  EXPECT_TRUE(f == nullptr);  // NOLINT(bugprone-use-after-move): pinned semantics
+  EXPECT_EQ(counter.use_count(), uses_before);  // moved, not copied
+  g(4);
+  EXPECT_EQ(*counter, 4);
+
+  InlineFunction<void(int)> h;
+  h = std::move(g);
+  h(2);
+  EXPECT_EQ(*counter, 6);
+}
+
+TEST(InlineFunctionTest, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = token;
+  {
+    InlineFunction<void()> f = [token] {};
+    token.reset();
+    EXPECT_FALSE(weak.expired());
+    InlineFunction<void()> g = std::move(f);  // relocation must not double-free
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(InlineFunctionTest, AssignmentReleasesPreviousCapture) {
+  auto first = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = first;
+  InlineFunction<void()> f = [first] {};
+  first.reset();
+  EXPECT_FALSE(weak.expired());
+  f = [] {};  // overwriting must destroy the old capture
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(InlineFunctionTest, WrapsMutableLambdas) {
+  InlineFunction<int()> f = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(f(), 1);
+  EXPECT_EQ(f(), 2);
+  EXPECT_EQ(f(), 3);
+}
+
+TEST(InlineFunctionTest, WrapsStdFunctionOnTheHeapPath) {
+  // Cold paths may hand in a std::function (not nothrow-movable in all
+  // shapes); it must work via the heap fallback regardless of size.
+  std::function<int(int)> std_fn = [](int x) { return x * 2; };
+  InlineFunction<int(int)> f = std::move(std_fn);
+  EXPECT_EQ(f(21), 42);
+}
+
+}  // namespace
+}  // namespace actop

@@ -1,0 +1,118 @@
+#include "src/common/pool_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace actop {
+namespace {
+
+TEST(SizeClassPoolTest, RecyclesExactSizeClasses) {
+  SizeClassPool& pool = SizeClassPool::Instance();
+  const uint64_t fresh0 = pool.fresh_allocations();
+
+  void* p = pool.Allocate(96);
+  EXPECT_EQ(pool.fresh_allocations(), fresh0 + 1);
+  pool.Release(p, 96);
+
+  // Same size class: the parked block comes back without a fresh allocation.
+  const uint64_t recycled0 = pool.recycled_allocations();
+  void* q = pool.Allocate(96);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(pool.recycled_allocations(), recycled0 + 1);
+  EXPECT_EQ(pool.fresh_allocations(), fresh0 + 1);
+  pool.Release(q, 96);
+}
+
+TEST(SizeClassPoolTest, DistinctSizesUseDistinctClasses) {
+  SizeClassPool& pool = SizeClassPool::Instance();
+  void* a = pool.Allocate(64);
+  pool.Release(a, 64);
+  // A different size must not be served from the 64-byte class.
+  const uint64_t fresh0 = pool.fresh_allocations();
+  void* b = pool.Allocate(128);
+  EXPECT_EQ(pool.fresh_allocations(), fresh0 + 1);
+  pool.Release(b, 128);
+  // The 64-byte block is still parked and comes back for a 64-byte ask.
+  void* c = pool.Allocate(64);
+  EXPECT_EQ(c, a);
+  pool.Release(c, 64);
+}
+
+TEST(SizeClassPoolTest, OversizedBlocksPassThrough) {
+  SizeClassPool& pool = SizeClassPool::Instance();
+  const size_t huge = 1u << 20;  // above the pooled ceiling
+  const uint64_t fresh0 = pool.fresh_allocations();
+  const uint64_t recycled0 = pool.recycled_allocations();
+  void* p = pool.Allocate(huge);
+  ASSERT_NE(p, nullptr);
+  pool.Release(p, huge);
+  void* q = pool.Allocate(huge);
+  ASSERT_NE(q, nullptr);
+  pool.Release(q, huge);
+  // Above the pooled ceiling nothing is parked: both asks hit the heap.
+  EXPECT_EQ(pool.fresh_allocations(), fresh0 + 2);
+  EXPECT_EQ(pool.recycled_allocations(), recycled0);
+}
+
+TEST(PooledNodeMapTest, BehavesLikeUnorderedMap) {
+  PooledNodeMap<uint64_t, int> m;
+  for (uint64_t k = 0; k < 100; k++) {
+    m[k] = static_cast<int>(k * 2);
+  }
+  EXPECT_EQ(m.size(), 100u);
+  EXPECT_EQ(m.at(7), 14);
+  EXPECT_EQ(m.count(200), 0u);
+  for (uint64_t k = 0; k < 100; k += 2) {
+    m.erase(k);
+  }
+  EXPECT_EQ(m.size(), 50u);
+  EXPECT_EQ(m.count(2), 0u);
+  EXPECT_EQ(m.at(3), 6);
+}
+
+TEST(PooledNodeMapTest, IterationOrderMatchesStdMap) {
+  // Replay determinism depends on PooledNodeMap iterating exactly like the
+  // std::unordered_map it replaced: the allocator must not change hashing,
+  // bucket counts, or insertion placement.
+  PooledNodeMap<uint64_t, int> pooled;
+  std::unordered_map<uint64_t, int> standard;
+  uint64_t x = 12345;
+  for (int i = 0; i < 1000; i++) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const uint64_t key = x >> 16;
+    pooled[key] = i;
+    standard[key] = i;
+    if (i % 3 == 0) {
+      pooled.erase(key ^ 1);
+      standard.erase(key ^ 1);
+    }
+  }
+  ASSERT_EQ(pooled.size(), standard.size());
+  EXPECT_EQ(pooled.bucket_count(), standard.bucket_count());
+  std::vector<uint64_t> pooled_order;
+  std::vector<uint64_t> standard_order;
+  for (const auto& [k, v] : pooled) pooled_order.push_back(k);
+  for (const auto& [k, v] : standard) standard_order.push_back(k);
+  EXPECT_EQ(pooled_order, standard_order);
+}
+
+TEST(PooledNodeMapTest, NodeChurnRecyclesThroughThePool) {
+  SizeClassPool& pool = SizeClassPool::Instance();
+  PooledNodeMap<uint64_t, uint64_t> m;
+  // Warm: establish the node size class and the map's bucket array.
+  for (uint64_t k = 0; k < 64; k++) m[k] = k;
+  for (uint64_t k = 0; k < 64; k++) m.erase(k);
+  const uint64_t fresh0 = pool.fresh_allocations();
+  // Steady-state churn at the same size: no fresh blocks.
+  for (int round = 0; round < 10; round++) {
+    for (uint64_t k = 0; k < 64; k++) m[k] = k;
+    for (uint64_t k = 0; k < 64; k++) m.erase(k);
+  }
+  EXPECT_EQ(pool.fresh_allocations(), fresh0);
+}
+
+}  // namespace
+}  // namespace actop

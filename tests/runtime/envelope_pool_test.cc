@@ -67,6 +67,84 @@ TEST(RecyclingPoolTest, WeakPtrKeepsControlBlockAlive) {
   EXPECT_EQ(cache.cached_blocks(), 1u);
 }
 
+TEST(EnvelopePoolTest, RecyclesEnvelopeObjects) {
+  // The pool retains the Envelope object itself (reset, capacity preserved),
+  // not just its memory: releasing one envelope and asking for another must
+  // hand back the same object without any construction traffic.
+  const EnvelopePoolStats before = GetEnvelopePoolStats();
+  Envelope* raw = nullptr;
+  {
+    auto env = MakeEnvelope();
+    raw = env.get();
+  }
+  EXPECT_EQ(GetEnvelopePoolStats().cached, before.cached + 1);
+  auto env2 = MakeEnvelope();
+  EXPECT_EQ(env2.get(), raw);
+  EXPECT_EQ(GetEnvelopePoolStats().recycled, before.recycled + 1);
+}
+
+TEST(EnvelopePoolTest, RecycledControlEnvelopeLeaksNoStalePayload) {
+  // Regression: an envelope that carried a populated kControl
+  // PartitionExchangeRequest, recycled into a kCall, must present fully
+  // reset state — kind, hops, via_network, created_at AND the control
+  // variant's values (the exchange vectors keep capacity only).
+  Envelope* raw = nullptr;
+  {
+    auto env = MakeEnvelope();
+    raw = env.get();
+    env->kind = MessageKind::kControl;
+    env->hops = 3;
+    env->via_network = true;
+    env->created_at = 12345;
+    env->reply_to = 7;
+    PartitionExchangeRequest req;
+    req.from_num_vertices = 99;
+    req.exchange_id = 41;
+    req.candidates.resize(5);
+    req.candidates[0].vertex = 77;
+    req.candidates[0].score = 2.5;
+    env->control = std::move(req);
+  }
+  auto env2 = MakeEnvelope();
+  ASSERT_EQ(env2.get(), raw);  // same object back from the pool
+  EXPECT_EQ(env2->kind, MessageKind::kCall);
+  EXPECT_EQ(env2->hops, 0);
+  EXPECT_FALSE(env2->via_network);
+  EXPECT_EQ(env2->created_at, 0);
+  EXPECT_EQ(env2->reply_to, kNoNode);
+  EXPECT_EQ(env2->call_id, CallId{});
+  // The variant stays on the exchange alternative (capacity retention), but
+  // every value in it must be reset.
+  const auto* req = std::get_if<PartitionExchangeRequest>(&env2->control);
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->from_num_vertices, 0);
+  EXPECT_EQ(req->exchange_id, 0u);
+  EXPECT_TRUE(req->candidates.empty());
+  EXPECT_GE(req->candidates.capacity(), 5u);  // the point of retaining it
+}
+
+TEST(EnvelopePoolTest, RecycledResponseEnvelopeResetsAccepted) {
+  Envelope* raw = nullptr;
+  {
+    auto env = MakeEnvelope();
+    raw = env.get();
+    env->kind = MessageKind::kControl;
+    PartitionExchangeResponse resp;
+    resp.rejected = true;
+    resp.exchange_id = 9;
+    resp.accepted = {1, 2, 3};
+    env->control = std::move(resp);
+  }
+  auto env2 = MakeEnvelope();
+  ASSERT_EQ(env2.get(), raw);
+  const auto* resp = std::get_if<PartitionExchangeResponse>(&env2->control);
+  ASSERT_NE(resp, nullptr);
+  EXPECT_FALSE(resp->rejected);
+  EXPECT_EQ(resp->exchange_id, 0u);
+  EXPECT_TRUE(resp->accepted.empty());
+  EXPECT_GE(resp->accepted.capacity(), 3u);
+}
+
 TEST(EnvelopePoolTest, EnvelopesAreFreshlyConstructed) {
   auto env = MakeEnvelope();
   env->kind = MessageKind::kResponse;

@@ -145,6 +145,57 @@ TEST(RuntimeTest, ActorToActorCallAcrossServers) {
   EXPECT_EQ(cluster.metrics().actor_call_latency().count(), 1u);
 }
 
+TEST(RuntimeTest, DrainingParkedCallsMayParkFurtherCalls) {
+  // Regression for the parked-call drain: delivering a parked call can
+  // re-enter server routing and park *more* calls — including under keys
+  // that are mid-drain elsewhere. The drain must move the entry list out
+  // and erase the map entry before dispatching (iterating the live map
+  // would be invalidated by the re-park). Two relays that call each other's
+  // partner plus concurrent fan-in produce exactly that interleaving:
+  // every call to an unresolved relay parks, each drained relay turn then
+  // issues a sub-call to the *other* relay, which parks again on servers
+  // that have not resolved it yet.
+  Simulation sim;
+  Cluster cluster(&sim, SmallCluster());
+  RegisterTestActors(&cluster);
+  DirectClient client(&sim, &cluster, 5);
+
+  const ActorId relay_a = MakeActorId(kRelayType, 11);
+  const ActorId relay_b = MakeActorId(kRelayType, 12);
+  int responses = 0;
+  for (int i = 0; i < 10; i++) {
+    // method 0 with app_data = partner: relay sub-calls the partner's
+    // method 1 (immediate reply) before replying itself.
+    client.Call(relay_a, 0, relay_b, 100, [&](const Response& r) {
+      EXPECT_FALSE(r.failed);
+      responses++;
+    });
+    client.Call(relay_b, 0, relay_a, 100, [&](const Response& r) {
+      EXPECT_FALSE(r.failed);
+      responses++;
+    });
+  }
+  sim.RunUntil(Seconds(2));
+  EXPECT_EQ(responses, 20);
+  // The racing activations still resolved to exactly one host per relay.
+  EXPECT_EQ(CountHosts(cluster, relay_a), 1);
+  EXPECT_EQ(CountHosts(cluster, relay_b), 1);
+
+  // Second wave on fresh keys: exercises the recycled parked-entry buffers
+  // (the drain returns each drained vector to a pool for later parks).
+  const ActorId relay_c = MakeActorId(kRelayType, 13);
+  const ActorId echo = MakeActorId(kEchoType, 14);
+  for (int i = 0; i < 10; i++) {
+    client.Call(relay_c, 0, echo, 100, [&](const Response& r) {
+      EXPECT_FALSE(r.failed);
+      responses++;
+    });
+  }
+  sim.RunUntil(Seconds(4));
+  EXPECT_EQ(responses, 30);
+  EXPECT_EQ(CountHosts(cluster, relay_c), 1);
+}
+
 TEST(RuntimeTest, TurnBasedExecutionSerializesCalls) {
   // An actor with 10 concurrent calls must process them one at a time:
   // with 20 µs handler compute the last response completes no earlier than
