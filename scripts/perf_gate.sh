@@ -63,6 +63,18 @@ run_gate() {
       status=1
       return
     fi
+    # Scenario SLO reports (scripts/scenario_matrix.sh) are JSON too, but
+    # they measure simulated latency under a traffic shape — not wall-clock
+    # bench throughput — so one offered as a bench baseline must be refused,
+    # not silently compared field-by-missing-field.
+    if grep -q 'actop-scenario-report' "${baseline}"; then
+      echo "perf_gate: ERROR: ${baseline} is a scenario SLO report" \
+           "(actop-scenario-report schema), not a bench baseline" >&2
+      echo "perf_gate: scenario reports come from scripts/scenario_matrix.sh" \
+           "and are not comparable with bench output" >&2
+      status=1
+      return
+    fi
     args+=(--compare="${baseline}" --gate --threshold="${THRESHOLD}")
   elif [[ "${ALLOW_MISSING_BASELINE:-0}" == "1" ]]; then
     echo "perf_gate: no baseline at ${baseline}; recording ${out} without gating" >&2

@@ -45,6 +45,8 @@ class Histogram {
   int64_t p50() const { return ValueAtQuantile(0.50); }
   int64_t p95() const { return ValueAtQuantile(0.95); }
   int64_t p99() const { return ValueAtQuantile(0.99); }
+  // SLO-grade tail percentile for the open-loop scenario reports.
+  int64_t p999() const { return ValueAtQuantile(0.999); }
 
  private:
   // Bucketing: values < kLinearLimit are exact (one bucket per value is too

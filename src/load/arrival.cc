@@ -1,0 +1,29 @@
+#include "src/load/arrival.h"
+
+#include "src/common/check.h"
+
+namespace actop {
+
+ArrivalProcess::ArrivalProcess(const RateSchedule* schedule, uint64_t seed)
+    : schedule_(schedule), rng_(seed) {
+  ACTOP_CHECK(schedule != nullptr);
+  peak_rate_ = schedule_->PeakRate();
+  ACTOP_CHECK(peak_rate_ > 0.0);
+  mean_gap_ns_ = 1e9 / peak_rate_;
+}
+
+SimTime ArrivalProcess::NextAfter(SimTime from) {
+  SimTime t = from;
+  while (true) {
+    // Candidate gaps are at least 1 ns so time always advances (the engine
+    // orders same-instant events by sequence number anyway, but a stuck
+    // clock would spin this loop forever at extreme rates).
+    const auto gap = static_cast<SimDuration>(rng_.NextExp(mean_gap_ns_) + 0.5);
+    t += gap > 0 ? gap : 1;
+    if (rng_.NextDouble() * peak_rate_ < schedule_->RateAt(t)) {
+      return t;
+    }
+  }
+}
+
+}  // namespace actop

@@ -1,0 +1,42 @@
+// Non-homogeneous Poisson arrival process over a RateSchedule.
+//
+// Uses Lewis & Shedler thinning: candidate arrivals are drawn from a
+// homogeneous Poisson process at the schedule's peak rate and accepted with
+// probability rate(t)/peak. The rejection loop is internal — the simulation
+// only ever sees accepted arrivals — and the output stream is exactly
+// Poisson with intensity RateAt(t), which is what the statistical
+// acceptance tests in tests/load/ verify.
+//
+// Determinism: one Rng seeded at construction fully determines the arrival
+// sequence; the process never consults wall clock or global state.
+
+#ifndef SRC_LOAD_ARRIVAL_H_
+#define SRC_LOAD_ARRIVAL_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+#include "src/load/rate_schedule.h"
+
+namespace actop {
+
+class ArrivalProcess {
+ public:
+  // `schedule` must outlive the process.
+  ArrivalProcess(const RateSchedule* schedule, uint64_t seed);
+
+  // The first arrival strictly after `from`. Successive calls with the
+  // previous arrival time walk the whole stream.
+  SimTime NextAfter(SimTime from);
+
+ private:
+  const RateSchedule* schedule_;
+  Rng rng_;
+  double peak_rate_;
+  double mean_gap_ns_;  // candidate gap at the peak rate
+};
+
+}  // namespace actop
+
+#endif  // SRC_LOAD_ARRIVAL_H_

@@ -1,0 +1,119 @@
+#include "src/load/keyspace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+namespace {
+
+// log1p(x)/x and expm1(x)/x with series fallbacks near zero, as in the
+// reference rejection-inversion implementation: the exponent-dependent
+// quantities below lose precision exactly where these ratios approach 1.
+double Helper1(double x) {
+  if (std::abs(x) > 1e-8) {
+    return std::log1p(x) / x;
+  }
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+double Helper2(double x) {
+  if (std::abs(x) > 1e-8) {
+    return std::expm1(x) / x;
+  }
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent) : n_(n), exponent_(exponent) {
+  ACTOP_CHECK(n >= 1);
+  ACTOP_CHECK(exponent >= 0.0);
+  if (exponent_ == 0.0) {
+    return;  // uniform fast path; the H machinery is undefined at s == 0
+  }
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_n_ = HIntegral(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+// Integral of x^-s, shifted so the expressions below stay stable for s
+// near 1: HIntegral(x) = (x^(1-s) - 1)/(1-s), continuously = log(x) at s=1.
+double ZipfSampler::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - exponent_) * log_x) * log_x;
+}
+
+double ZipfSampler::H(double x) const { return std::exp(-exponent_ * std::log(x)); }
+
+double ZipfSampler::HIntegralInverse(double x) const {
+  double t = x * (1.0 - exponent_);
+  if (t < -1.0) {
+    t = -1.0;  // guard against round-off below the pole
+  }
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (exponent_ == 0.0) {
+    return 1 + rng.NextBounded(n_);
+  }
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.NextDouble() * (h_integral_x1_ - h_integral_n_);
+    const double x = HIntegralInverse(u);
+    uint64_t k = static_cast<uint64_t>(std::llround(std::max(1.0, x)));
+    k = std::clamp<uint64_t>(k, 1, n_);
+    // Accept when x falls within the hat's tight region around k, or via the
+    // exact rejection test against the histogram bar at k.
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= HIntegral(static_cast<double>(k) + 0.5) - H(static_cast<double>(k))) {
+      return k;
+    }
+  }
+}
+
+double ZipfSampler::Probability(uint64_t k) const {
+  ACTOP_CHECK(k >= 1 && k <= n_);
+  double norm = 0.0;
+  for (uint64_t i = 1; i <= n_; i++) {
+    norm += std::pow(static_cast<double>(i), -exponent_);
+  }
+  return std::pow(static_cast<double>(k), -exponent_) / norm;
+}
+
+BoundedParetoSampler::BoundedParetoSampler(uint64_t lo, uint64_t hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  ACTOP_CHECK(lo >= 1);
+  ACTOP_CHECK(hi >= lo);
+  ACTOP_CHECK(alpha > 0.0);
+  lo_pow_ = std::pow(static_cast<double>(lo_), alpha_);
+  ratio_ = 1.0 - std::pow(static_cast<double>(lo_) / static_cast<double>(hi_), alpha_);
+}
+
+uint64_t BoundedParetoSampler::Sample(Rng& rng) const {
+  if (lo_ == hi_) {
+    return lo_;
+  }
+  const double u = rng.NextDouble();  // in [0, 1)
+  // Invert F(x) = (1 - lo^a x^-a) / ratio on [lo, hi].
+  const double x =
+      static_cast<double>(lo_) / std::pow(1.0 - u * ratio_, 1.0 / alpha_);
+  const auto k = static_cast<uint64_t>(x);  // floor: discrete sizes
+  return std::clamp<uint64_t>(k, lo_, hi_);
+}
+
+double BoundedParetoSampler::Ccdf(double x) const {
+  if (x < static_cast<double>(lo_)) {
+    return 1.0;
+  }
+  if (x >= static_cast<double>(hi_)) {
+    return 0.0;
+  }
+  const double f = (1.0 - lo_pow_ * std::pow(x, -alpha_)) / ratio_;
+  return 1.0 - f;
+}
+
+}  // namespace actop

@@ -1,0 +1,74 @@
+// Key-popularity distributions for open-loop scenarios.
+//
+// ZipfSampler draws keys k in [1, n] with P(k) proportional to k^-s — the
+// hot-key skew of interactive services (a few rooms, leaderboards or devices
+// absorb most of the traffic). Implementation is rejection-inversion
+// (Hörmann & Derflinger 1996): O(1) per sample with no table, so n can be
+// millions of keys without precomputation, and the acceptance loop runs at
+// most a handful of iterations for any exponent.
+//
+// BoundedParetoSampler draws power-law sizes in [lo, hi] by CDF inversion —
+// viral-cascade widths and social fan-outs whose tail matters but must stay
+// bounded by the population.
+//
+// Both samplers are pure functions of the caller's Rng, so the same seed
+// reproduces the same key stream (the scenario determinism tests rely on
+// this), and tests/load/keyspace_stat_test.cc checks the realized
+// frequencies against the analytic distributions.
+
+#ifndef SRC_LOAD_KEYSPACE_H_
+#define SRC_LOAD_KEYSPACE_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace actop {
+
+class ZipfSampler {
+ public:
+  // exponent == 0 degenerates to uniform over [1, n].
+  ZipfSampler(uint64_t n, double exponent);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double exponent() const { return exponent_; }
+
+  // P(k) for the exact distribution, computed by brute-force normalization —
+  // O(n), for tests and report annotations only.
+  double Probability(uint64_t k) const;
+
+ private:
+  double HIntegral(double x) const;
+  double HIntegralInverse(double x) const;
+  double H(double x) const;
+
+  uint64_t n_;
+  double exponent_;
+  double h_integral_x1_ = 0.0;
+  double h_integral_n_ = 0.0;
+  double s_ = 0.0;
+};
+
+class BoundedParetoSampler {
+ public:
+  // Power-law with tail exponent `alpha` (> 0) truncated to [lo, hi].
+  BoundedParetoSampler(uint64_t lo, uint64_t hi, double alpha);
+
+  uint64_t Sample(Rng& rng) const;
+
+  // P(X > x) for the underlying continuous distribution (tests).
+  double Ccdf(double x) const;
+
+ private:
+  uint64_t lo_;
+  uint64_t hi_;
+  double alpha_;
+  double lo_pow_;   // lo^alpha
+  double ratio_;    // 1 - (lo/hi)^alpha
+};
+
+}  // namespace actop
+
+#endif  // SRC_LOAD_KEYSPACE_H_

@@ -1,0 +1,54 @@
+#include "src/load/open_loop.h"
+
+#include "src/common/check.h"
+
+namespace actop {
+
+OpenLoopDriver::OpenLoopDriver(Simulation* sim, ClientPool* pool, const RateSchedule* schedule,
+                               uint64_t seed)
+    : sim_(sim), pool_(pool), schedule_(schedule), process_(schedule, seed) {
+  ACTOP_CHECK(sim != nullptr);
+  ACTOP_CHECK(pool != nullptr);
+}
+
+void OpenLoopDriver::Start() {
+  ACTOP_CHECK(!running_);
+  running_ = true;
+  ScheduleNext();
+  for (const SyncBurst& burst : schedule_->bursts()) {
+    ACTOP_CHECK(burst.at >= sim_->now());
+    sim_->ScheduleAt(burst.at, [this, count = burst.count] {
+      if (!running_) {
+        return;
+      }
+      // All `count` requests enter at the same instant — the synchronized
+      // reconnect/push-notification shape. The engine dispatches their send
+      // events in scheduling order, so the storm is deterministic.
+      for (uint64_t i = 0; i < count; i++) {
+        pool_->Inject();
+      }
+      arrivals_ += count;
+      burst_arrivals_ += count;
+    });
+  }
+}
+
+void OpenLoopDriver::Stop() { running_ = false; }
+
+void OpenLoopDriver::ScheduleNext() {
+  const SimTime next = process_.NextAfter(sim_->now());
+  sim_->ScheduleAt(next, [this] {
+    if (!running_) {
+      return;
+    }
+    OnArrival();
+    ScheduleNext();
+  });
+}
+
+void OpenLoopDriver::OnArrival() {
+  arrivals_++;
+  pool_->Inject();
+}
+
+}  // namespace actop

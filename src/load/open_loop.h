@@ -1,0 +1,59 @@
+// Open-loop driver: feeds a ClientPool from a non-homogeneous Poisson
+// arrival process plus synchronized bursts.
+//
+// Closed-loop clients (N users, think time, wait-for-reply) self-limit under
+// overload: when the service slows down, arrivals slow down with it, so tail
+// latency and shed rates under a flash crowd are literally inexpressible.
+// This driver is the opposite contract — the schedule alone decides when
+// requests enter the system, responses never gate arrivals — which is how
+// the "dynamic interactive services" traffic the paper targets actually
+// behaves, and what the scenario SLO reports measure.
+//
+// The driver never calls pool->Start(): construct the workload with
+// `external_clients = true` (or Stop() its pool before running) so the
+// schedule is the only arrival source.
+
+#ifndef SRC_LOAD_OPEN_LOOP_H_
+#define SRC_LOAD_OPEN_LOOP_H_
+
+#include <cstdint>
+
+#include "src/load/arrival.h"
+#include "src/load/rate_schedule.h"
+#include "src/runtime/client.h"
+#include "src/sim/simulation.h"
+
+namespace actop {
+
+class OpenLoopDriver {
+ public:
+  // `schedule` and `pool` must outlive the driver.
+  OpenLoopDriver(Simulation* sim, ClientPool* pool, const RateSchedule* schedule, uint64_t seed);
+
+  // Schedules the Poisson arrival chain and every SyncBurst. Call once.
+  void Start();
+  // No further arrivals after this (the in-flight chain event self-cancels).
+  void Stop();
+
+  // Arrival events delivered to the pool so far (Poisson + burst). The pool's
+  // own issued() can be lower: a TargetFn may skip an arrival (e.g. Halo
+  // before any player is in a game).
+  uint64_t arrivals() const { return arrivals_; }
+  uint64_t burst_arrivals() const { return burst_arrivals_; }
+
+ private:
+  void OnArrival();
+  void ScheduleNext();
+
+  Simulation* sim_;
+  ClientPool* pool_;
+  const RateSchedule* schedule_;
+  ArrivalProcess process_;
+  bool running_ = false;
+  uint64_t arrivals_ = 0;
+  uint64_t burst_arrivals_ = 0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_LOAD_OPEN_LOOP_H_

@@ -1,0 +1,104 @@
+#include "src/load/rate_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace actop {
+
+RateSchedule::RateSchedule(double base_rate_per_s) : base_rate_(base_rate_per_s) {
+  ACTOP_CHECK(base_rate_per_s > 0.0);
+}
+
+RateSchedule& RateSchedule::AddDiurnal(SimDuration period, double amplitude, double phase) {
+  ACTOP_CHECK(period > 0);
+  ACTOP_CHECK(amplitude >= 0.0 && amplitude < 1.0);
+  diurnal_.push_back(DiurnalCycle{period, amplitude, phase});
+  return *this;
+}
+
+RateSchedule& RateSchedule::AddStep(SimTime start, SimTime end, double factor) {
+  ACTOP_CHECK(start < end);
+  ACTOP_CHECK(factor >= 0.0);
+  steps_.push_back(RateStep{start, end, factor});
+  return *this;
+}
+
+RateSchedule& RateSchedule::AddSpike(SimTime at, double factor, SimDuration decay) {
+  ACTOP_CHECK(factor >= 1.0);
+  ACTOP_CHECK(decay > 0);
+  spikes_.push_back(RateSpike{at, factor, decay});
+  return *this;
+}
+
+RateSchedule& RateSchedule::AddBurst(SimTime at, uint64_t count) {
+  ACTOP_CHECK(count > 0);
+  bursts_.push_back(SyncBurst{at, count});
+  return *this;
+}
+
+double RateSchedule::RateAt(SimTime t) const {
+  double rate = base_rate_;
+  for (const DiurnalCycle& d : diurnal_) {
+    const double angle =
+        2.0 * M_PI * static_cast<double>(t) / static_cast<double>(d.period) + d.phase;
+    rate *= 1.0 + d.amplitude * std::sin(angle);
+  }
+  for (const RateStep& s : steps_) {
+    if (t >= s.start && t < s.end) {
+      rate *= s.factor;
+    }
+  }
+  for (const RateSpike& s : spikes_) {
+    if (t >= s.at) {
+      const double age = static_cast<double>(t - s.at) / static_cast<double>(s.decay);
+      rate *= 1.0 + (s.factor - 1.0) * std::exp(-age);
+    }
+  }
+  return rate;
+}
+
+double RateSchedule::PeakRate() const {
+  double peak = base_rate_;
+  for (const DiurnalCycle& d : diurnal_) {
+    peak *= 1.0 + d.amplitude;
+  }
+  for (const RateStep& s : steps_) {
+    peak *= std::max(1.0, s.factor);
+  }
+  for (const RateSpike& s : spikes_) {
+    peak *= s.factor;  // factor >= 1 by construction
+  }
+  return peak;
+}
+
+double RateSchedule::ExpectedArrivals(SimTime t0, SimTime t1) const {
+  ACTOP_CHECK(t0 <= t1);
+  if (t0 == t1) {
+    return 0.0;
+  }
+  // 4096 trapezoids resolve every component we compose (the shortest
+  // features are spikes with decay >= milliseconds over windows of seconds).
+  constexpr int kSteps = 4096;
+  const double span_ns = static_cast<double>(t1 - t0);
+  const double dt_ns = span_ns / kSteps;
+  double sum = 0.5 * (RateAt(t0) + RateAt(t1));
+  for (int i = 1; i < kSteps; i++) {
+    sum += RateAt(t0 + static_cast<SimTime>(dt_ns * i));
+  }
+  // Rates are per second; dt is in nanoseconds.
+  return sum * dt_ns * 1e-9;
+}
+
+uint64_t RateSchedule::BurstArrivals(SimTime t0, SimTime t1) const {
+  uint64_t total = 0;
+  for (const SyncBurst& b : bursts_) {
+    if (b.at >= t0 && b.at < t1) {
+      total += b.count;
+    }
+  }
+  return total;
+}
+
+}  // namespace actop

@@ -1,0 +1,125 @@
+#include "src/load/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace actop {
+
+namespace {
+
+// Fixed-precision, locale-independent double formatting: the same value
+// always renders to the same bytes, which the determinism test depends on.
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string Num(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+void Fail(ScenarioReport* r, const std::string& what) { r->slo_failures.push_back(what); }
+
+}  // namespace
+
+bool EvaluateSlo(ScenarioReport* report) {
+  report->slo_failures.clear();
+  const SloSpec& slo = report->slo;
+  if (slo.p50_ms > 0.0 && report->p50_ms > slo.p50_ms) {
+    Fail(report, "p50 " + Num(report->p50_ms) + " ms > bound " + Num(slo.p50_ms) + " ms");
+  }
+  if (slo.p99_ms > 0.0 && report->p99_ms > slo.p99_ms) {
+    Fail(report, "p99 " + Num(report->p99_ms) + " ms > bound " + Num(slo.p99_ms) + " ms");
+  }
+  if (slo.p999_ms > 0.0 && report->p999_ms > slo.p999_ms) {
+    Fail(report, "p999 " + Num(report->p999_ms) + " ms > bound " + Num(slo.p999_ms) + " ms");
+  }
+  if (slo.max_timeout_rate >= 0.0 && report->timeout_rate > slo.max_timeout_rate) {
+    Fail(report, "timeout rate " + Num(report->timeout_rate) + " > bound " +
+                     Num(slo.max_timeout_rate));
+  }
+  if (slo.max_shed_rate >= 0.0 && report->shed_rate > slo.max_shed_rate) {
+    Fail(report, "shed rate " + Num(report->shed_rate) + " > bound " + Num(slo.max_shed_rate));
+  }
+  if (slo.min_goodput_fraction >= 0.0 && report->issued > 0) {
+    const double fraction =
+        static_cast<double>(report->completed) / static_cast<double>(report->issued);
+    if (fraction < slo.min_goodput_fraction) {
+      Fail(report, "goodput fraction " + Num(fraction) + " < bound " +
+                       Num(slo.min_goodput_fraction));
+    }
+  }
+  if (report->invariant_violations > 0) {
+    Fail(report, Num(report->invariant_violations) + " invariant violations");
+  }
+  return report->slo_failures.empty();
+}
+
+std::string ScenarioReportToJson(const ScenarioReport& r) {
+  std::string out;
+  out.reserve(2048);
+  auto field = [&out](const char* key, const std::string& value, bool quoted = false) {
+    out += "  \"";
+    out += key;
+    out += "\": ";
+    if (quoted) {
+      out += '"';
+      out += value;
+      out += '"';
+    } else {
+      out += value;
+    }
+    out += ",\n";
+  };
+
+  out += "{\n";
+  field("schema", kScenarioReportSchema, /*quoted=*/true);
+  field("scenario", r.scenario, /*quoted=*/true);
+  field("seed", Num(r.seed));
+  field("scale", Num(r.scale));
+  field("simulated_users", Num(r.simulated_users));
+  field("num_servers", Num(static_cast<uint64_t>(r.num_servers)));
+  out += "  \"sim_seconds\": {\"warmup\": " + Num(r.warmup_s) + ", \"measure\": " +
+         Num(r.measure_s) + ", \"drain\": " + Num(r.drain_s) + "},\n";
+  out += "  \"arrivals\": {\"total\": " + Num(r.arrivals) + ", \"burst\": " +
+         Num(r.burst_arrivals) + ", \"issued\": " + Num(r.issued) + ", \"completed\": " +
+         Num(r.completed) + ", \"timeouts\": " + Num(r.timeouts) + ", \"stage_rejections\": " +
+         Num(r.stage_rejections) + "},\n";
+  out += "  \"rates\": {\"offered_per_s\": " + Num(r.offered_per_s) + ", \"peak_per_s\": " +
+         Num(r.peak_rate_per_s) + ", \"goodput_per_s\": " + Num(r.goodput_per_s) +
+         ", \"timeout_rate\": " + Num(r.timeout_rate) + ", \"shed_rate\": " + Num(r.shed_rate) +
+         "},\n";
+  out += "  \"latency_ms\": {\"p50\": " + Num(r.p50_ms) + ", \"p99\": " + Num(r.p99_ms) +
+         ", \"p999\": " + Num(r.p999_ms) + ", \"mean\": " + Num(r.mean_ms) + ", \"max\": " +
+         Num(r.max_ms) + "},\n";
+  out += "  \"invariants\": {\"checks\": " + Num(r.invariant_checks) + ", \"violations\": " +
+         Num(r.invariant_violations) + "},\n";
+  out += "  \"chaos\": {\"enabled\": " + std::string(r.chaos ? "true" : "false") +
+         ", \"crashes\": " + Num(r.chaos_crashes) + ", \"directory_churns\": " +
+         Num(r.chaos_directory_churns) + ", \"dropped_messages\": " +
+         Num(r.chaos_dropped_messages) + "},\n";
+  out += "  \"allocs\": {\"measured\": " + std::string(r.allocs_measured ? "true" : "false") +
+         ", \"measure_events\": " + Num(r.measure_events) + ", \"measure_allocs\": " +
+         Num(r.measure_allocs) + ", \"allocs_per_event\": " + Num(r.allocs_per_event) + "},\n";
+  out += "  \"slo\": {\"p50_ms\": " + Num(r.slo.p50_ms) + ", \"p99_ms\": " + Num(r.slo.p99_ms) +
+         ", \"p999_ms\": " + Num(r.slo.p999_ms) + ", \"max_timeout_rate\": " +
+         Num(r.slo.max_timeout_rate) + ", \"max_shed_rate\": " + Num(r.slo.max_shed_rate) +
+         ", \"min_goodput_fraction\": " + Num(r.slo.min_goodput_fraction) + "},\n";
+  out += "  \"slo_ok\": " + std::string(r.slo_failures.empty() ? "true" : "false") + ",\n";
+  out += "  \"slo_failures\": [";
+  for (size_t i = 0; i < r.slo_failures.size(); i++) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += '"';
+    out += r.slo_failures[i];
+    out += '"';
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace actop

@@ -1,0 +1,95 @@
+// Machine-readable scenario reports with SLO evaluation.
+//
+// Every scenario run produces one ScenarioReport, serialized as a single
+// canonical JSON document: fixed field order, fixed number formatting, no
+// wall-clock content — so "same scenario + same seed" is byte-identical
+// across runs, which tests/load/scenario_determinism_test.cc enforces.
+//
+// Reports are NOT bench baselines: the schema marker below is what
+// scripts/perf_gate.sh keys on to refuse a scenario report offered as a
+// BENCH_*.baseline.json.
+
+#ifndef SRC_LOAD_REPORT_H_
+#define SRC_LOAD_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace actop {
+
+inline constexpr const char* kScenarioReportSchema = "actop-scenario-report-v1";
+
+// SLO bounds for one scenario. A negative/zero bound means "not asserted".
+struct SloSpec {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_timeout_rate = -1.0;       // timeouts / issued
+  double max_shed_rate = -1.0;          // stage rejections / issued
+  double min_goodput_fraction = -1.0;   // completed / issued
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  uint64_t seed = 0;
+  double scale = 1.0;
+  uint64_t simulated_users = 0;
+  int num_servers = 0;
+
+  // Simulated phase durations (seconds).
+  double warmup_s = 0.0;
+  double measure_s = 0.0;
+  double drain_s = 0.0;
+
+  // Arrival accounting over the measure window (completions/timeouts of
+  // measure-window requests resolved during the drain are included).
+  uint64_t arrivals = 0;          // open-loop arrival events (incl. bursts)
+  uint64_t burst_arrivals = 0;
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t timeouts = 0;
+  uint64_t stage_rejections = 0;
+
+  double offered_per_s = 0.0;     // issued / measure_s
+  double peak_rate_per_s = 0.0;   // schedule envelope (PeakRate)
+  double goodput_per_s = 0.0;     // completed / measure_s
+  double timeout_rate = 0.0;
+  double shed_rate = 0.0;
+
+  // Client-observed latency percentiles (milliseconds).
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+
+  // Invariant checking (always on; chaos adds fault injection).
+  uint64_t invariant_checks = 0;
+  uint64_t invariant_violations = 0;
+  bool chaos = false;
+  uint64_t chaos_crashes = 0;
+  uint64_t chaos_directory_churns = 0;
+  uint64_t chaos_dropped_messages = 0;
+
+  // Allocs/event over the measure window (PR-5 accounting); only the
+  // scenario_runner binary, which owns the counting allocator, measures it.
+  bool allocs_measured = false;
+  uint64_t measure_events = 0;
+  uint64_t measure_allocs = 0;
+  double allocs_per_event = 0.0;
+
+  SloSpec slo;
+  std::vector<std::string> slo_failures;  // filled by EvaluateSlo
+};
+
+// Checks the report against its own SloSpec plus the structural requirement
+// of zero invariant violations; fills slo_failures. Returns true when clean.
+bool EvaluateSlo(ScenarioReport* report);
+
+// Canonical single-document JSON (ends with a newline).
+std::string ScenarioReportToJson(const ScenarioReport& report);
+
+}  // namespace actop
+
+#endif  // SRC_LOAD_REPORT_H_

@@ -1,0 +1,60 @@
+// The open-loop scenario fleet.
+//
+// Each scenario composes a RateSchedule (diurnal swing, flash-crowd step,
+// viral spike, synchronized reconnect burst) with a key-popularity
+// distribution over one of the existing workloads (chat, social, heartbeat
+// IoT/presence fleet, Halo presence) and drives it open-loop at up to
+// millions of simulated users, measuring SLO-style percentiles, timeout and
+// shed rates, and goodput into a deterministic ScenarioReport.
+//
+// Scenarios scale with one knob: `scale` multiplies the user population and
+// the offered rate while the cluster stays fixed, so smoke runs (tier-1
+// ctest, scale ~0.02, seconds of wall time) exercise every code path and
+// full runs (perf/scenario configuration, scale 1.0) produce the
+// publication-shape overload behaviour. Invariant checking (PR 1) is always
+// on; `chaos` additionally injects crashes/drops/delays/churn during the
+// measure window.
+//
+// Registry:
+//   diurnal_chat     chat service under a compressed day/night rate curve
+//   flash_crowd      1M-user presence-status fleet, launch-day step overload
+//   hot_key          Zipf hot-key skew concentrating traffic on few actors
+//   viral_social     power-law fan-out with viral repost cascades
+//   reconnect_storm  IoT fleet with synchronized reconnect storms
+//   halo_launch      Halo presence (both ActOp optimizers on), launch surge
+
+#ifndef SRC_LOAD_SCENARIOS_H_
+#define SRC_LOAD_SCENARIOS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/load/report.h"
+
+namespace actop {
+
+struct ScenarioOptions {
+  double scale = 1.0;   // user population & rate multiplier (1.0 = full)
+  uint64_t seed = 1;
+  bool chaos = false;   // inject faults during the measure window
+  // Snapshot hook for allocs/event accounting (PR-5 measure-window
+  // discipline): returns the binary's global allocation count. Only the
+  // scenario_runner binary, which replaces operator new, wires this.
+  std::function<uint64_t()> alloc_counter;
+};
+
+using ScenarioFn = ScenarioReport (*)(const ScenarioOptions&);
+
+struct ScenarioDef {
+  const char* name;
+  const char* summary;
+  ScenarioFn run;
+};
+
+const std::vector<ScenarioDef>& ScenarioRegistry();
+const ScenarioDef* FindScenario(const std::string& name);
+
+}  // namespace actop
+
+#endif  // SRC_LOAD_SCENARIOS_H_

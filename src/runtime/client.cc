@@ -51,12 +51,20 @@ void ClientPool::ScheduleNextArrival() {
   });
 }
 
+void ClientPool::Inject() { IssueRequest(); }
+
+void ClientPool::InjectTo(ActorId target, MethodId method) { SendCall(target, method); }
+
 void ClientPool::IssueRequest() {
   ActorId target = kNoActor;
   MethodId method = 0;
   if (!target_fn_(rng_, &target, &method)) {
     return;
   }
+  SendCall(target, method);
+}
+
+void ClientPool::SendCall(ActorId target, MethodId method) {
   const uint64_t seq = next_seq_++;
   auto env = MakeEnvelope();
   env->kind = MessageKind::kCall;

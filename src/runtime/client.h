@@ -41,10 +41,20 @@ class ClientPool {
   void Start();
   void Stop();
 
+  // Open-loop injection path: issues one request immediately, independent of
+  // the pool's own Poisson arrival chain and of any outstanding responses.
+  // External arrival processes (src/load/) drive scenario traffic through
+  // these — Inject() picks the target via the pool's TargetFn, InjectTo()
+  // addresses a specific actor (viral-cascade reposts, reconnect storms).
+  void Inject();
+  void InjectTo(ActorId target, MethodId method);
+
   const Histogram& latency() const { return latency_; }
   uint64_t issued() const { return issued_; }
   uint64_t completed() const { return completed_; }
   uint64_t timeouts() const { return timeouts_; }
+  // Requests in flight (issued, not yet completed or timed out).
+  uint64_t outstanding() const { return pending_.size(); }
 
   // Clears measurements (used to discard warm-up).
   void ResetStats();
@@ -52,6 +62,7 @@ class ClientPool {
  private:
   void ScheduleNextArrival();
   void IssueRequest();
+  void SendCall(ActorId target, MethodId method);
   void OnDeliver(NodeId from, uint32_t bytes, std::shared_ptr<void> msg);
   void SweepTimeouts();
 

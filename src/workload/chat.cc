@@ -133,6 +133,7 @@ ChatWorkload::ChatWorkload(Cluster* cluster, ChatWorkloadConfig config)
       clients_(&cluster->sim(), cluster,
                ClientConfig{.request_rate = config.message_rate,
                             .request_bytes = config.message_bytes,
+                            .timeout = config.client_timeout,
                             .seed = config.seed ^ 0xabc},
                [this](Rng& rng, ActorId* target, MethodId* method) {
                  return PickTarget(rng, target, method);
@@ -172,7 +173,9 @@ void ChatWorkload::Start() {
     driver_.Call(MakeActorId(kChatUserActorType, static_cast<uint64_t>(u)), kJoinRoom, room, 64,
                  nullptr);
   }
-  clients_.Start();
+  if (!config_.external_clients) {
+    clients_.Start();
+  }
   cluster_->sim().SchedulePeriodic(config_.rehome_period, [this] { RehomeSomeUsers(); });
 }
 

@@ -40,6 +40,10 @@ struct ChatWorkloadConfig {
   uint32_t message_bytes = 512;
   SimDuration user_compute = Micros(25);
   SimDuration room_compute = Micros(35);
+  SimDuration client_timeout = Seconds(10);
+  // When true, Start() builds the rooms but leaves arrival generation to an
+  // external open-loop driver via ClientPool::Inject (src/load/).
+  bool external_clients = false;
   uint64_t seed = 41;
 };
 

@@ -147,6 +147,7 @@ HaloWorkload::HaloWorkload(Cluster* cluster, HaloWorkloadConfig config)
       clients_(&cluster->sim(), cluster,
                ClientConfig{.request_rate = config.request_rate,
                             .request_bytes = config.request_bytes,
+                            .timeout = config.client_timeout,
                             .seed = config.seed ^ 0x1234},
                [this](Rng& rng, ActorId* target, MethodId* method) {
                  return PickTarget(rng, target, method);
@@ -230,7 +231,7 @@ void HaloWorkload::TryFormGames() {
     StartGame(members_scratch_);
   }
   // Start the client load once the first games exist.
-  if (!in_game_players_.empty() && !started_clients_) {
+  if (!in_game_players_.empty() && !started_clients_ && !config_.external_clients) {
     started_clients_ = true;
     clients_.Start();
   }

@@ -67,6 +67,11 @@ struct HaloWorkloadConfig {
 
   SimDuration player_compute = Micros(30);
   SimDuration game_compute = Micros(40);
+  SimDuration client_timeout = Seconds(10);
+  // When true, matchmaking runs normally but the status-request pool is
+  // never self-started: arrivals come through ClientPool::Inject from an
+  // external open-loop driver (src/load/).
+  bool external_clients = false;
   uint64_t seed = 31;
 };
 

@@ -31,6 +31,7 @@ HeartbeatWorkload::HeartbeatWorkload(Cluster* cluster, HeartbeatWorkloadConfig c
           &cluster->sim(), cluster,
           ClientConfig{.request_rate = config.request_rate,
                        .request_bytes = config.request_bytes,
+                       .timeout = config.client_timeout,
                        .seed = config.seed},
           [num = config.num_monitors](Rng& rng, ActorId* target, MethodId* method) {
             *target =
@@ -46,7 +47,11 @@ HeartbeatWorkload::HeartbeatWorkload(Cluster* cluster, HeartbeatWorkloadConfig c
       kMonitorActorType, [](ActorId) { return std::make_unique<MonitorActor>(); }, costs);
 }
 
-void HeartbeatWorkload::Start() { clients_.Start(); }
+void HeartbeatWorkload::Start() {
+  if (!config_.external_clients) {
+    clients_.Start();
+  }
+}
 
 void HeartbeatWorkload::Stop() { clients_.Stop(); }
 

@@ -26,6 +26,11 @@ struct HeartbeatWorkloadConfig {
   uint32_t request_bytes = 200;
   SimDuration handler_compute = Micros(25);
   SimDuration handler_blocking = 0;  // set > 0 to model synchronous I/O
+  SimDuration client_timeout = Seconds(10);
+  // When true, Start() registers actors but never starts the pool's own
+  // Poisson chain: arrivals come exclusively through ClientPool::Inject from
+  // an external open-loop driver (src/load/).
+  bool external_clients = false;
   uint64_t seed = 23;
 };
 

@@ -81,6 +81,7 @@ SocialWorkload::SocialWorkload(Cluster* cluster, SocialWorkloadConfig config)
       clients_(&cluster->sim(), cluster,
                ClientConfig{.request_rate = config.post_rate + config.read_rate,
                             .request_bytes = config.post_bytes,
+                            .timeout = config.client_timeout,
                             .seed = config.seed ^ 0x321},
                [this](Rng& rng, ActorId* target, MethodId* method) {
                  return PickTarget(rng, target, method);
@@ -154,7 +155,9 @@ void SocialWorkload::Start() {
       driver_.Call(MakeActorId(kSocialUserActorType, author), kFollow, user, 64, nullptr);
     }
   }
-  clients_.Start();
+  if (!config_.external_clients) {
+    clients_.Start();
+  }
   cluster_->sim().SchedulePeriodic(config_.churn_period, [this] { Churn(); });
 }
 
@@ -191,6 +194,10 @@ void SocialWorkload::Churn() {
 
 int SocialWorkload::FollowerCount(uint64_t user_key) const {
   return static_cast<int>(followers_of_[user_key].size());
+}
+
+const std::vector<uint64_t>& SocialWorkload::FollowersOfUser(uint64_t user_key) const {
+  return followers_of_[user_key];
 }
 
 }  // namespace actop

@@ -51,6 +51,10 @@ struct SocialWorkloadConfig {
   int follows_per_period = 10;   // follow/unfollow churn
   uint32_t post_bytes = 512;
   SimDuration handler_compute = Micros(25);
+  SimDuration client_timeout = Seconds(10);
+  // When true, Start() builds the follower graph but leaves arrival
+  // generation to an external open-loop driver via ClientPool::Inject.
+  bool external_clients = false;
   uint64_t seed = 77;
 };
 
@@ -73,6 +77,14 @@ class SocialWorkload {
 
   // In-degree of a user (number of followers), from the driver's bookkeeping.
   int FollowerCount(uint64_t user_key) const;
+
+  // Follower keys of a user, from the driver's mirror (viral-cascade
+  // triggers in src/load/ repost through the most-followed users' audiences).
+  const std::vector<uint64_t>& FollowersOfUser(uint64_t user_key) const;
+
+  static ActorId UserActor(uint64_t user_key) {
+    return MakeActorId(kSocialUserActorType, user_key);
+  }
 
  private:
   uint64_t SampleUser(Rng& rng) const;  // Zipf-skewed global pick

@@ -1,0 +1,242 @@
+// Statistical acceptance tests for the open-loop arrival machinery.
+//
+// Every test is deterministic: fixed seeds through src/common/rng.h, fixed
+// sample counts, and test bounds chosen with wide margin (> 5 sigma) so they
+// hold for ALL seeds of this generator, not just on average. A failure here
+// means the sampler is wrong, not that the dice were unlucky.
+
+#include "src/load/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+#include "src/load/rate_schedule.h"
+
+namespace actop {
+namespace {
+
+// Kolmogorov-Smirnov statistic of `samples` against the exponential CDF with
+// the given mean. Samples need not be sorted.
+double KsExponential(std::vector<double> samples, double mean) {
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); i++) {
+    const double cdf = 1.0 - std::exp(-samples[i] / mean);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(cdf - lo, hi - cdf));
+  }
+  return d;
+}
+
+// Homogeneous schedule: inter-arrival gaps must be exponential with mean
+// 1/rate — the Poisson property the whole layer is built on.
+TEST(ArrivalStatTest, HomogeneousInterarrivalsAreExponential) {
+  const double rate = 1000.0;  // per second
+  RateSchedule schedule(rate);
+  ArrivalProcess process(&schedule, /*seed=*/17);
+
+  const int kSamples = 20000;
+  std::vector<double> gaps_s;
+  gaps_s.reserve(kSamples);
+  SimTime t = 0;
+  for (int i = 0; i < kSamples; i++) {
+    const SimTime next = process.NextAfter(t);
+    ASSERT_GT(next, t);
+    gaps_s.push_back(ToSeconds(next - t));
+    t = next;
+  }
+
+  // Mean within 3% (sigma of the sample mean is mean/sqrt(n) ~ 0.7%).
+  double sum = 0.0;
+  for (double g : gaps_s) {
+    sum += g;
+  }
+  const double sample_mean = sum / kSamples;
+  EXPECT_NEAR(sample_mean, 1.0 / rate, 0.03 / rate);
+
+  // KS distance: critical value at alpha=0.001 is 1.95/sqrt(n) ~ 0.0138.
+  // Bound at 2x that; a wrong distribution (e.g. uniform, or thinning bias)
+  // lands far above.
+  EXPECT_LT(KsExponential(gaps_s, 1.0 / rate), 0.028);
+}
+
+// Counting form of the same property: arrivals in disjoint unit windows are
+// Poisson(rate) — chi-square over the count histogram.
+TEST(ArrivalStatTest, HomogeneousCountsArePoisson) {
+  const double rate = 50.0;  // per second, so windows hold ~50
+  RateSchedule schedule(rate);
+  ArrivalProcess process(&schedule, /*seed=*/29);
+
+  const int kWindows = 2000;
+  std::vector<int> counts(kWindows, 0);
+  SimTime t = 0;
+  const SimTime horizon = Seconds(kWindows);
+  while (true) {
+    t = process.NextAfter(t);
+    if (t >= horizon) {
+      break;
+    }
+    counts[static_cast<size_t>(t / Seconds(1))]++;
+  }
+
+  // Mean and variance must both equal `rate` (equidispersion — the property
+  // that distinguishes Poisson from e.g. fixed-gap or bursty streams).
+  double mean = 0.0;
+  for (int c : counts) {
+    mean += c;
+  }
+  mean /= kWindows;
+  double var = 0.0;
+  for (int c : counts) {
+    var += (c - mean) * (c - mean);
+  }
+  var /= kWindows - 1;
+  EXPECT_NEAR(mean, rate, 0.05 * rate);
+  // Var[s^2] for Poisson ~ 2*rate^2/n => sigma ~ 1.6; allow ~6 sigma.
+  EXPECT_NEAR(var, rate, 0.20 * rate);
+}
+
+// Non-homogeneous: realized arrivals per window must track the analytic
+// integral of the diurnal rate curve through its peaks AND troughs.
+TEST(ArrivalStatTest, DiurnalRateEnvelopeIsTracked) {
+  RateSchedule schedule(2000.0);
+  schedule.AddDiurnal(Seconds(20), 0.7, /*phase=*/0.0);
+  ArrivalProcess process(&schedule, /*seed=*/41);
+
+  const SimDuration kWindow = Seconds(2);
+  const int kWindows = 40;  // four full periods
+  std::vector<int> counts(kWindows, 0);
+  SimTime t = 0;
+  const SimTime horizon = kWindow * kWindows;
+  while (true) {
+    t = process.NextAfter(t);
+    if (t >= horizon) {
+      break;
+    }
+    counts[static_cast<size_t>(t / kWindow)]++;
+  }
+
+  for (int w = 0; w < kWindows; w++) {
+    const double expected =
+        schedule.ExpectedArrivals(kWindow * w, kWindow * (w + 1));
+    // Poisson sigma = sqrt(expected) (~35 at the trough); 5 sigma.
+    const double tol = 5.0 * std::sqrt(expected);
+    EXPECT_NEAR(counts[w], expected, tol) << "window " << w;
+  }
+
+  // The curve actually swings: peak windows must hold ~(1.7/0.3)x the trough
+  // windows. Compare best vs worst window against analytic expectations.
+  const int max_w = static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  const int min_w = static_cast<int>(
+      std::min_element(counts.begin(), counts.end()) - counts.begin());
+  EXPECT_GT(counts[max_w], 3.0 * counts[min_w]);
+}
+
+// Flash-crowd step: the realized rate must jump by the step factor inside
+// the step window and return to base outside it.
+TEST(ArrivalStatTest, FlashCrowdStepChangesRealizedRate) {
+  const double base = 1000.0;
+  RateSchedule schedule(base);
+  schedule.AddStep(Seconds(10), Seconds(20), 5.0);
+  ArrivalProcess process(&schedule, /*seed=*/53);
+
+  uint64_t before = 0;
+  uint64_t during = 0;
+  uint64_t after = 0;
+  SimTime t = 0;
+  while (true) {
+    t = process.NextAfter(t);
+    if (t >= Seconds(30)) {
+      break;
+    }
+    if (t < Seconds(10)) {
+      before++;
+    } else if (t < Seconds(20)) {
+      during++;
+    } else {
+      after++;
+    }
+  }
+  // Each phase is 10 s: ~10000 / ~50000 / ~10000 expected; 5-sigma bounds.
+  EXPECT_NEAR(static_cast<double>(before), 10000.0, 500.0);
+  EXPECT_NEAR(static_cast<double>(during), 50000.0, 1120.0);
+  EXPECT_NEAR(static_cast<double>(after), 10000.0, 500.0);
+}
+
+// The thinning envelope must be sound for composite schedules: no arrival may
+// be generated where RateAt is zero, and ExpectedArrivals must match realized
+// counts for a step+spike+diurnal product.
+TEST(ArrivalStatTest, CompositeScheduleMatchesAnalyticIntegral) {
+  RateSchedule schedule(800.0);
+  schedule.AddDiurnal(Seconds(15), 0.4, 1.0);
+  schedule.AddStep(Seconds(8), Seconds(16), 3.0);
+  schedule.AddSpike(Seconds(20), 4.0, Seconds(2));
+  ArrivalProcess process(&schedule, /*seed=*/67);
+
+  uint64_t realized = 0;
+  SimTime t = 0;
+  const SimTime horizon = Seconds(30);
+  while (true) {
+    t = process.NextAfter(t);
+    if (t >= horizon) {
+      break;
+    }
+    realized++;
+  }
+  const double expected = schedule.ExpectedArrivals(0, horizon);
+  EXPECT_NEAR(static_cast<double>(realized), expected, 5.0 * std::sqrt(expected));
+}
+
+// A zero-rate window (step factor 0) must produce no arrivals at all — the
+// "service holds its breath" shape (maintenance window, upstream outage).
+TEST(ArrivalStatTest, ZeroRateWindowProducesNoArrivals) {
+  RateSchedule schedule(5000.0);
+  schedule.AddStep(Seconds(5), Seconds(10), 0.0);
+  ArrivalProcess process(&schedule, /*seed=*/71);
+
+  SimTime t = 0;
+  while (true) {
+    t = process.NextAfter(t);
+    if (t >= Seconds(15)) {
+      break;
+    }
+    EXPECT_FALSE(t >= Seconds(5) && t < Seconds(10)) << "arrival at " << t;
+  }
+}
+
+// Determinism: the arrival stream is a pure function of (schedule, seed).
+TEST(ArrivalStatTest, SameSeedSameStream) {
+  RateSchedule schedule(1234.0);
+  schedule.AddDiurnal(Seconds(7), 0.5, 0.3);
+  schedule.AddSpike(Seconds(3), 2.0, Seconds(1));
+
+  ArrivalProcess a(&schedule, 99);
+  ArrivalProcess b(&schedule, 99);
+  SimTime ta = 0;
+  SimTime tb = 0;
+  for (int i = 0; i < 5000; i++) {
+    ta = a.NextAfter(ta);
+    tb = b.NextAfter(tb);
+    ASSERT_EQ(ta, tb) << "diverged at arrival " << i;
+  }
+
+  ArrivalProcess c(&schedule, 100);
+  SimTime tc = 0;
+  int same = 0;
+  ta = 0;
+  for (int i = 0; i < 1000; i++) {
+    ta = a.NextAfter(ta);
+    tc = c.NextAfter(tc);
+    same += (ta == tc);
+  }
+  EXPECT_LT(same, 10) << "different seeds produced overlapping streams";
+}
+
+}  // namespace
+}  // namespace actop

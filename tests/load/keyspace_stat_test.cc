@@ -1,0 +1,171 @@
+// Statistical acceptance tests for the key-popularity samplers.
+//
+// Same discipline as arrival_stat_test.cc: fixed seeds, bounds wide enough
+// (>= 5 sigma) that a failure indicates a wrong distribution, not bad luck.
+
+#include "src/load/keyspace.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/rng.h"
+
+namespace actop {
+namespace {
+
+// Realized frequencies of a Zipf sampler must match the analytic P(k) via a
+// chi-square test over the head keys plus a pooled tail bucket.
+void CheckZipfFrequencies(uint64_t n, double s, uint64_t seed) {
+  ZipfSampler zipf(n, s);
+  Rng rng(seed);
+  const int kSamples = 200000;
+  std::vector<uint64_t> counts(n + 1, 0);
+  for (int i = 0; i < kSamples; i++) {
+    const uint64_t k = zipf.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, n);
+    counts[k]++;
+  }
+
+  // Chi-square over the head (every key with expectation >= 20) plus one
+  // pooled tail cell.
+  double chi2 = 0.0;
+  int cells = 0;
+  double tail_expected = 0.0;
+  uint64_t tail_observed = 0;
+  for (uint64_t k = 1; k <= n; k++) {
+    const double expected = zipf.Probability(k) * kSamples;
+    if (expected >= 20.0) {
+      const double diff = static_cast<double>(counts[k]) - expected;
+      chi2 += diff * diff / expected;
+      cells++;
+    } else {
+      tail_expected += expected;
+      tail_observed += counts[k];
+    }
+  }
+  if (tail_expected >= 20.0) {
+    const double diff = static_cast<double>(tail_observed) - tail_expected;
+    chi2 += diff * diff / tail_expected;
+    cells++;
+  }
+  ASSERT_GT(cells, 5);
+  // Chi-square with d = cells-1 dof: mean d, sigma sqrt(2d). Bound at
+  // d + 10*sqrt(2d) — far beyond any plausible statistical fluctuation.
+  const double dof = cells - 1;
+  EXPECT_LT(chi2, dof + 10.0 * std::sqrt(2.0 * dof))
+      << "n=" << n << " s=" << s << " cells=" << cells;
+}
+
+TEST(ZipfStatTest, FrequenciesMatchSmallN) { CheckZipfFrequencies(100, 1.1, 7); }
+
+TEST(ZipfStatTest, FrequenciesMatchModerateSkew) { CheckZipfFrequencies(5000, 0.8, 11); }
+
+TEST(ZipfStatTest, FrequenciesMatchStrongSkew) { CheckZipfFrequencies(5000, 1.5, 13); }
+
+// The rejection-inversion sampler must stay exact for million-key spaces
+// (no table, O(1) per draw) — spot-check the head probabilities, which is
+// where hot-key scenarios live.
+TEST(ZipfStatTest, MillionKeyHeadFrequencies) {
+  const uint64_t n = 1000000;
+  const double s = 1.1;
+  ZipfSampler zipf(n, s);
+  Rng rng(17);
+  const int kSamples = 300000;
+  std::vector<uint64_t> head(11, 0);
+  for (int i = 0; i < kSamples; i++) {
+    const uint64_t k = zipf.Sample(rng);
+    ASSERT_GE(k, 1u);
+    ASSERT_LE(k, n);
+    if (k <= 10) {
+      head[k]++;
+    }
+  }
+  // Analytic head probabilities via the generalized harmonic sum. H(n, 1.1)
+  // converges slowly; compute it directly (one-time O(n) in a test is fine).
+  double harmonic = 0.0;
+  for (uint64_t k = 1; k <= n; k++) {
+    harmonic += std::pow(static_cast<double>(k), -s);
+  }
+  for (uint64_t k = 1; k <= 10; k++) {
+    const double p = std::pow(static_cast<double>(k), -s) / harmonic;
+    const double expected = p * kSamples;
+    EXPECT_NEAR(static_cast<double>(head[k]), expected, 5.0 * std::sqrt(expected))
+        << "key " << k;
+  }
+}
+
+TEST(ZipfStatTest, ZeroExponentIsUniform) {
+  const uint64_t n = 1000;
+  ZipfSampler zipf(n, 0.0);
+  Rng rng(23);
+  const int kSamples = 100000;
+  std::vector<uint64_t> counts(n + 1, 0);
+  for (int i = 0; i < kSamples; i++) {
+    counts[zipf.Sample(rng)]++;
+  }
+  const double expected = static_cast<double>(kSamples) / n;  // 100 per key
+  double chi2 = 0.0;
+  for (uint64_t k = 1; k <= n; k++) {
+    const double diff = static_cast<double>(counts[k]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  const double dof = n - 1;
+  EXPECT_LT(chi2, dof + 10.0 * std::sqrt(2.0 * dof));
+}
+
+// Bounded Pareto: the realized tail must follow the truncated power law.
+TEST(ParetoStatTest, TailFollowsPowerLaw) {
+  const uint64_t lo = 4;
+  const uint64_t hi = 4000;
+  const double alpha = 1.25;
+  BoundedParetoSampler pareto(lo, hi, alpha);
+  Rng rng(31);
+  const int kSamples = 200000;
+  std::vector<uint64_t> samples;
+  samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; i++) {
+    const uint64_t x = pareto.Sample(rng);
+    ASSERT_GE(x, lo);
+    ASSERT_LE(x, hi);
+    samples.push_back(x);
+  }
+  // Empirical CCDF at log-spaced integer probe points vs the analytic
+  // (continuous) CCDF. The sampler floors, so for integer k:
+  // floor(x) > k  <=>  x >= k + 1, i.e. the analytic point is Ccdf(k + 1).
+  for (double probe : {8.0, 16.0, 64.0, 256.0, 1024.0}) {
+    uint64_t above = 0;
+    for (uint64_t x : samples) {
+      above += (static_cast<double>(x) > probe);
+    }
+    const double p = pareto.Ccdf(probe + 1.0);
+    const double expected = p * kSamples;
+    const double sigma = std::sqrt(kSamples * p * (1.0 - p));
+    EXPECT_NEAR(static_cast<double>(above), expected, 6.0 * sigma + 1.0)
+        << "probe " << probe;
+  }
+}
+
+TEST(ParetoStatTest, DegenerateRangeReturnsConstant) {
+  BoundedParetoSampler pareto(7, 7, 2.0);
+  Rng rng(37);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(pareto.Sample(rng), 7u);
+  }
+}
+
+TEST(KeyspaceStatTest, SamplersAreDeterministic) {
+  ZipfSampler zipf(100000, 1.1);
+  BoundedParetoSampler pareto(2, 1000, 1.5);
+  Rng rng_a(5);
+  Rng rng_b(5);
+  for (int i = 0; i < 10000; i++) {
+    ASSERT_EQ(zipf.Sample(rng_a), zipf.Sample(rng_b));
+    ASSERT_EQ(pareto.Sample(rng_a), pareto.Sample(rng_b));
+  }
+}
+
+}  // namespace
+}  // namespace actop

@@ -1,0 +1,121 @@
+// Unit tests for ScenarioReport SLO evaluation and JSON canonical form.
+
+#include "src/load/report.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace actop {
+namespace {
+
+ScenarioReport CleanReport() {
+  ScenarioReport r;
+  r.scenario = "unit";
+  r.seed = 1;
+  r.issued = 1000;
+  r.completed = 990;
+  r.timeouts = 10;
+  r.timeout_rate = 0.01;
+  r.shed_rate = 0.0;
+  r.p50_ms = 5.0;
+  r.p99_ms = 50.0;
+  r.p999_ms = 200.0;
+  return r;
+}
+
+TEST(ReportTest, EmptySloAlwaysPasses) {
+  ScenarioReport r = CleanReport();
+  EXPECT_TRUE(EvaluateSlo(&r));
+  EXPECT_TRUE(r.slo_failures.empty());
+}
+
+TEST(ReportTest, EachBoundIsEnforced) {
+  {
+    ScenarioReport r = CleanReport();
+    r.slo.p50_ms = 4.0;
+    EXPECT_FALSE(EvaluateSlo(&r));
+    ASSERT_EQ(r.slo_failures.size(), 1u);
+    EXPECT_NE(r.slo_failures[0].find("p50"), std::string::npos);
+  }
+  {
+    ScenarioReport r = CleanReport();
+    r.slo.p99_ms = 49.0;
+    EXPECT_FALSE(EvaluateSlo(&r));
+  }
+  {
+    ScenarioReport r = CleanReport();
+    r.slo.p999_ms = 199.0;
+    EXPECT_FALSE(EvaluateSlo(&r));
+  }
+  {
+    ScenarioReport r = CleanReport();
+    r.slo.max_timeout_rate = 0.005;
+    EXPECT_FALSE(EvaluateSlo(&r));
+  }
+  {
+    ScenarioReport r = CleanReport();
+    r.shed_rate = 0.2;
+    r.slo.max_shed_rate = 0.1;
+    EXPECT_FALSE(EvaluateSlo(&r));
+  }
+  {
+    ScenarioReport r = CleanReport();
+    r.slo.min_goodput_fraction = 0.995;  // 990/1000 = 0.99 < bound
+    EXPECT_FALSE(EvaluateSlo(&r));
+  }
+}
+
+TEST(ReportTest, BoundsAtExactValuePass) {
+  ScenarioReport r = CleanReport();
+  r.slo.p99_ms = 50.0;
+  r.slo.max_timeout_rate = 0.01;
+  r.slo.min_goodput_fraction = 0.99;
+  EXPECT_TRUE(EvaluateSlo(&r));
+}
+
+TEST(ReportTest, InvariantViolationsAlwaysFail) {
+  ScenarioReport r = CleanReport();  // no SLO bounds at all
+  r.invariant_violations = 2;
+  EXPECT_FALSE(EvaluateSlo(&r));
+  ASSERT_EQ(r.slo_failures.size(), 1u);
+  EXPECT_NE(r.slo_failures[0].find("invariant"), std::string::npos);
+}
+
+TEST(ReportTest, ReEvaluationIsIdempotent) {
+  ScenarioReport r = CleanReport();
+  r.slo.p50_ms = 4.0;
+  EXPECT_FALSE(EvaluateSlo(&r));
+  EXPECT_FALSE(EvaluateSlo(&r));
+  EXPECT_EQ(r.slo_failures.size(), 1u);  // not accumulated across calls
+}
+
+TEST(ReportTest, JsonIsCanonicalAndCarriesSchema) {
+  ScenarioReport r = CleanReport();
+  EvaluateSlo(&r);
+  const std::string a = ScenarioReportToJson(r);
+  const std::string b = ScenarioReportToJson(r);
+  EXPECT_EQ(a, b);
+  // The schema marker is what scripts/perf_gate.sh keys on to refuse a
+  // scenario report offered as a bench baseline.
+  EXPECT_NE(a.find("\"schema\": \"actop-scenario-report-v1\""), std::string::npos);
+  // Single JSON document, newline-terminated, with the SLO verdict last.
+  EXPECT_EQ(a.front(), '{');
+  EXPECT_EQ(a.back(), '\n');
+  EXPECT_NE(a.find("\"slo_ok\": true"), std::string::npos);
+  EXPECT_NE(a.find("\"p999\": 200"), std::string::npos);
+}
+
+TEST(ReportTest, JsonListsFailures) {
+  ScenarioReport r = CleanReport();
+  r.slo.p50_ms = 1.0;
+  r.slo.p99_ms = 2.0;
+  EvaluateSlo(&r);
+  const std::string json = ScenarioReportToJson(r);
+  EXPECT_NE(json.find("\"slo_ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("p50 5 ms > bound 1 ms"), std::string::npos);
+  EXPECT_NE(json.find("p99 50 ms > bound 2 ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace actop

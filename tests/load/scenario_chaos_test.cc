@@ -1,0 +1,64 @@
+// Chaos integration for the scenario fleet: a mid-scale open-loop scenario
+// under the PR-1 fault injector (crashes, drops, delays, directory churn,
+// forced migrations racing the exchange protocol) must hold every runtime
+// invariant — single activation, directory coherence, live-server caches.
+//
+// The SLOs are intentionally NOT asserted under chaos (crashed servers lose
+// requests by design); the structural zero-violations requirement is the
+// whole point, and EvaluateSlo still enforces it.
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+#include "src/load/report.h"
+#include "src/load/scenarios.h"
+
+namespace actop {
+namespace {
+
+ScenarioReport RunChaos(const char* name, uint64_t seed, double scale) {
+  const ScenarioDef* def = FindScenario(name);
+  EXPECT_NE(def, nullptr) << name;
+  ScenarioOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  options.chaos = true;
+  return def->run(options);
+}
+
+// Mid-scale (10% population) run: big enough that crashes land on servers
+// holding thousands of activations, small enough for tier-1.
+TEST(ScenarioChaosTest, ReconnectStormUnderFaultsHoldsInvariants) {
+  const ScenarioReport report = RunChaos("reconnect_storm", /*seed=*/3, /*scale=*/0.1);
+  EXPECT_EQ(report.invariant_violations, 0u)
+      << "violations under chaos; rerun scenario_runner --scenario=reconnect_storm "
+         "--scale=0.1 --seed=3 --chaos to reproduce";
+  EXPECT_GT(report.invariant_checks, 0u);
+  // The fault schedule actually fired (otherwise this test is vacuous).
+  EXPECT_GT(report.chaos_crashes + report.chaos_directory_churns +
+                report.chaos_dropped_messages,
+            0u);
+  // Open-loop accounting still closes: every issued request resolved.
+  EXPECT_GT(report.issued, 0u);
+  EXPECT_GT(report.completed, 0u);
+}
+
+TEST(ScenarioChaosTest, DiurnalChatUnderFaultsHoldsInvariants) {
+  const ScenarioReport report = RunChaos("diurnal_chat", /*seed=*/5, /*scale=*/0.1);
+  EXPECT_EQ(report.invariant_violations, 0u);
+  EXPECT_GT(report.chaos_crashes + report.chaos_directory_churns +
+                report.chaos_dropped_messages,
+            0u);
+}
+
+// Multi-seed sweep at small scale: fault schedules differ per seed, so a
+// handful of seeds covers crash-during-burst, churn-during-spike, etc.
+TEST(ScenarioChaosTest, SeedSweepStaysViolationFree) {
+  for (uint64_t seed = 20; seed < 24; seed++) {
+    const ScenarioReport report = RunChaos("hot_key", seed, /*scale=*/0.05);
+    EXPECT_EQ(report.invariant_violations, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace actop
