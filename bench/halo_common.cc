@@ -40,8 +40,14 @@ HaloWorkloadConfig MakeHaloWorkloadConfig(const HaloExperimentConfig& config) {
 }
 
 HaloExperimentResult RunHaloExperiment(const HaloExperimentConfig& config) {
-  Simulation sim;
-  Cluster cluster(&sim, MakeHaloClusterConfig(config));
+  const ClusterConfig cluster_config = MakeHaloClusterConfig(config);
+  ShardedEngineConfig engine_config;
+  engine_config.shards = config.shards;
+  // Lookahead = the network's one-way latency: the conservative window bound
+  // that makes cross-shard messages arrive beyond the running window.
+  engine_config.lookahead = cluster_config.network.one_way_latency;
+  ShardedEngine engine(engine_config);
+  Cluster cluster(&engine, cluster_config);
   HaloWorkload halo(&cluster, MakeHaloWorkloadConfig(config));
   halo.Start();
   cluster.StartOptimizers();
@@ -58,42 +64,42 @@ HaloExperimentResult RunHaloExperiment(const HaloExperimentConfig& config) {
 
   // Warm-up with window sampling (the Fig 10a series spans warm-up too).
   for (SimTime t = config.window; t <= config.warmup; t += config.window) {
-    sim.RunUntil(t);
-    const auto w = cluster.metrics().TakeWindow();
+    engine.RunUntil(t);
+    const auto w = cluster.TakeMetricsWindow();
     result.windows.push_back(HaloWindowSample{t, w.remote_fraction(), w.migrations});
   }
 
   // Steady state: reset measurements, as the paper does after the initial
   // migration burst settles.
   halo.clients().ResetStats();
-  cluster.metrics().ResetLatencies();
+  cluster.ResetMetricsLatencies();
   if (config.on_measure_start) {
     config.on_measure_start();
   }
   const double busy0 = snapshot_busy();
-  const SimTime measure_start = sim.now();
-  const uint64_t migrations0 = cluster.metrics().total_migrations();
+  const SimTime measure_start = engine.now();
+  const uint64_t migrations0 = cluster.MetricsTotalMigrations();
 
   for (SimTime t = measure_start + config.window; t <= measure_start + config.measure;
        t += config.window) {
-    sim.RunUntil(t);
-    const auto w = cluster.metrics().TakeWindow();
+    engine.RunUntil(t);
+    const auto w = cluster.TakeMetricsWindow();
     result.windows.push_back(HaloWindowSample{t, w.remote_fraction(), w.migrations});
     result.remote_fraction += w.remote_fraction();
   }
-  sim.RunUntil(measure_start + config.measure);
+  engine.RunUntil(measure_start + config.measure);
 
   const double busy1 = snapshot_busy();
-  const double window_ns = static_cast<double>(sim.now() - measure_start);
+  const double window_ns = static_cast<double>(engine.now() - measure_start);
   const double cores = static_cast<double>(config.num_servers) *
                        static_cast<double>(cluster.server(0).config().cores);
   result.cpu_utilization = (busy1 - busy0) / (cores * window_ns);
   result.remote_fraction /=
       static_cast<double>(config.measure / config.window);
-  result.migrations = cluster.metrics().total_migrations() - migrations0;
+  result.migrations = cluster.MetricsTotalMigrations() - migrations0;
   result.client_latency = halo.clients().latency();
-  result.actor_call_latency = cluster.metrics().actor_call_latency();
-  result.remote_call_latency = cluster.metrics().remote_actor_call_latency();
+  result.actor_call_latency = cluster.MergedActorCallLatency();
+  result.remote_call_latency = cluster.MergedRemoteActorCallLatency();
   result.completed = halo.clients().completed();
   result.timeouts = halo.clients().timeouts();
   for (int s = 0; s < cluster.num_servers(); s++) {

@@ -25,6 +25,10 @@ struct HaloExperimentConfig {
   int num_servers = 8;
   int players = 10000;
   double request_rate = 4500.0;  // the scaled "6K req/s" high-load point
+  // Engine shards (worker threads). 1 = the serial engine, byte-identical to
+  // the historical single-Simulation harness; >1 partitions the servers
+  // across shards under conservative time-window synchronization.
+  int shards = 1;
   bool partitioning = false;
   bool thread_optimization = false;
   SimDuration warmup = Seconds(60);

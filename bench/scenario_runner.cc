@@ -10,7 +10,7 @@
 //
 // Usage:
 //   scenario_runner --scenario=NAME [--scale=1.0] [--seed=1] [--chaos]
-//                   [--json=FILE] [--check] [--list]
+//                   [--threads=1] [--json=FILE] [--check] [--list]
 //
 // --check exits non-zero when the report fails its SLO (or records any
 // invariant violation) — this is what the ctest scenario entries run.
@@ -66,6 +66,7 @@ int Run(int argc, char** argv) {
   flags.DefineDouble("scale", 1.0, "population & rate multiplier (1.0 = full)");
   flags.DefineInt("seed", 1, "scenario seed (same seed => byte-identical report)");
   flags.DefineBool("chaos", false, "inject faults during the measure window");
+  flags.DefineInt("threads", 1, "engine shards (1 = serial; >1 = parallel windows)");
   flags.DefineString("json", "", "write the report to FILE (default: stdout)");
   flags.DefineBool("check", false, "exit non-zero if the SLO fails");
   flags.DefineBool("list", false, "list scenarios and exit");
@@ -89,6 +90,7 @@ int Run(int argc, char** argv) {
   options.scale = flags.GetDouble("scale");
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   options.chaos = flags.GetBool("chaos");
+  options.threads = static_cast<int>(flags.GetInt("threads"));
   options.alloc_counter = [] { return g_alloc_count.load(std::memory_order_relaxed); };
 
   const ScenarioReport report = def->run(options);

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
-# Perf-regression gate for the engine/messaging, partitioning and
-# cluster/CPU-scheduler hot paths.
+# Perf-regression gate for the engine/messaging, partitioning,
+# cluster/CPU-scheduler and parallel-core hot paths.
 #
-# Builds bench_engine, bench_partition and bench_cluster in Release mode,
-# runs all three, writes BENCH_engine.json, BENCH_partition.json and
-# BENCH_cluster.json at the repo root, and — when a checked-in baseline
-# exists — fails (exit 1) if any scenario's events/sec regressed more than
-# THRESHOLD (default 10%) against the corresponding file in bench/baselines/.
-# bench_partition and bench_cluster additionally self-gate their in-binary
-# geomean speedups vs the retained seed implementations (1.5x floors), and
-# bench_cluster fails if an optimized CPU scenario allocates in steady state.
+# Builds bench_engine, bench_partition, bench_cluster and bench_parallel in
+# Release mode, runs all four, writes BENCH_<name>.json at the repo root,
+# and — when a checked-in baseline exists — fails (exit 1) if any scenario's
+# events/sec regressed more than THRESHOLD (default 10%) against the
+# corresponding file in bench/baselines/. bench_partition and bench_cluster
+# additionally self-gate their in-binary geomean speedups vs the retained
+# seed implementations (1.5x floors), bench_cluster fails if an optimized
+# CPU scenario allocates in steady state, and bench_parallel self-gates the
+# 3x-at-8-shards scaling floor on hosts with >= 8 hardware threads.
+#
+# Baselines that record a "threads" header (the scaling bench does) are only
+# comparable between hosts with the same hardware parallelism; the gate
+# refuses a mismatched one up front instead of reporting a bogus
+# regression/improvement.
 #
 # Usage:
 #   scripts/perf_gate.sh                 # gate against the checked-in baselines
@@ -17,7 +23,15 @@
 #   SCALE=0.25 scripts/perf_gate.sh      # quicker run (smaller workloads);
 #                                        # throughput ratios stay comparable
 #   ATTEMPTS=1 scripts/perf_gate.sh      # no retry on a failed gate (default 3;
-#                                        # retries absorb shared-builder noise)
+#                                        # retries absorb shared-builder noise).
+#                                        # Each bench pins its own attempt
+#                                        # count: the single-threaded benches
+#                                        # follow ATTEMPTS, while the parallel
+#                                        # scaling bench is pinned to 2 — its
+#                                        # multi-minute runs make a third
+#                                        # retry more expensive than useful,
+#                                        # and its speedup ratios are
+#                                        # self-normalizing against host noise
 #
 # The same comparisons run in ctest under the "perf" configuration:
 #   ctest --preset perf        (or: ctest -C perf -L perf from a build dir)
@@ -38,11 +52,13 @@ ATTEMPTS="${ATTEMPTS:-3}"
 
 cmake --preset release >/dev/null
 cmake --build "${BUILD_DIR}" --target bench_engine --target bench_partition \
-      --target bench_cluster -j >/dev/null
+      --target bench_cluster --target bench_parallel -j >/dev/null
 
 status=0
 run_gate() {
   local bench="$1"
+  # Per-bench pinned attempt count; defaults to the global ATTEMPTS.
+  local attempts="${2:-${ATTEMPTS}}"
   local baseline="bench/baselines/BENCH_${bench}.baseline.json"
   local out="BENCH_${bench}.json"
   local binary="${BUILD_DIR}/bench/bench_${bench}"
@@ -75,6 +91,22 @@ run_gate() {
       status=1
       return
     fi
+    # Baselines with a "threads" header (the scaling bench records one) are
+    # host-parallelism-specific: a curve recorded on an 8-way box is not a
+    # valid reference for a 1-vCPU builder or vice versa. Reject the
+    # mismatch here with a clear message (the bench itself double-checks).
+    if grep -q '"threads":' "${baseline}"; then
+      local baseline_threads host_threads
+      baseline_threads="$(grep -o '"threads": *[0-9]*' "${baseline}" | head -1 | grep -o '[0-9]*')"
+      host_threads="$(nproc)"
+      if [[ "${baseline_threads}" != "${host_threads}" ]]; then
+        echo "perf_gate: ERROR: ${baseline} was recorded with threads=${baseline_threads}" \
+             "but this host has ${host_threads}; scaling baselines are only comparable" \
+             "at equal parallelism — re-record it on this host" >&2
+        status=1
+        return
+      fi
+    fi
     args+=(--compare="${baseline}" --gate --threshold="${THRESHOLD}")
   elif [[ "${ALLOW_MISSING_BASELINE:-0}" == "1" ]]; then
     echo "perf_gate: no baseline at ${baseline}; recording ${out} without gating" >&2
@@ -85,16 +117,16 @@ run_gate() {
     return
   fi
   local attempt
-  for attempt in $(seq 1 "${ATTEMPTS}"); do
+  for attempt in $(seq 1 "${attempts}"); do
     if "${binary}" "${args[@]}"; then
       echo "perf_gate: wrote ${out}"
       return
     fi
-    if [[ "${attempt}" -lt "${ATTEMPTS}" ]]; then
-      echo "perf_gate: bench_${bench} gate failed (attempt ${attempt}/${ATTEMPTS}); retrying" >&2
+    if [[ "${attempt}" -lt "${attempts}" ]]; then
+      echo "perf_gate: bench_${bench} gate failed (attempt ${attempt}/${attempts}); retrying" >&2
     fi
   done
-  echo "perf_gate: bench_${bench} gate failed on all ${ATTEMPTS} attempts" >&2
+  echo "perf_gate: bench_${bench} gate failed on all ${attempts} attempts" >&2
   status=1
   echo "perf_gate: wrote ${out}"
 }
@@ -102,4 +134,5 @@ run_gate() {
 run_gate engine
 run_gate partition
 run_gate cluster
+run_gate parallel 2
 exit "${status}"

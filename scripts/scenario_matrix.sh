@@ -19,6 +19,10 @@
 #   CHAOS=1 scripts/scenario_matrix.sh           # inject faults; SLO bounds
 #                                                # relax to invariants-only
 #   SCENARIOS="flash_crowd hot_key" scripts/scenario_matrix.sh
+#   THREADS=4 scripts/scenario_matrix.sh         # parallel engine (4 shards);
+#                                                # deterministic per thread
+#                                                # count, reports land in
+#                                                # *.threads4.json
 #
 # Exit status is non-zero if any scenario fails its SLO (latency/timeout/
 # goodput bounds at the configured scale, plus zero invariant violations
@@ -36,6 +40,7 @@ cd "$(dirname "$0")/.."
 SCALE="${SCALE:-1.0}"
 SEED="${SEED:-1}"
 CHAOS="${CHAOS:-0}"
+THREADS="${THREADS:-1}"
 BUILD_DIR="${BUILD_DIR:-build-release}"
 OUT_DIR="${OUT_DIR:-scenario_reports}"
 SCENARIOS="${SCENARIOS:-diurnal_chat flash_crowd hot_key viral_social reconnect_storm halo_launch}"
@@ -57,12 +62,16 @@ if [[ "${CHAOS}" == "1" ]]; then
   chaos_args=(--chaos)
   suffix=".chaos"
 fi
+if [[ "${THREADS}" != "1" ]]; then
+  suffix="${suffix}.threads${THREADS}"
+fi
 
 status=0
 for scenario in ${SCENARIOS}; do
   out="${OUT_DIR}/${scenario}.scale${SCALE}.seed${SEED}${suffix}.json"
-  echo "scenario_matrix: ${scenario} (scale=${SCALE} seed=${SEED} chaos=${CHAOS})"
+  echo "scenario_matrix: ${scenario} (scale=${SCALE} seed=${SEED} chaos=${CHAOS} threads=${THREADS})"
   if ! "${runner}" --scenario="${scenario}" --scale="${SCALE}" --seed="${SEED}" \
+       --threads="${THREADS}" \
        "${chaos_args[@]+"${chaos_args[@]}"}" --check --json="${out}"; then
     echo "scenario_matrix: ${scenario} FAILED its SLO (report: ${out})" >&2
     status=1

@@ -1,0 +1,91 @@
+// Counter-based splittable random streams for the sharded simulation core.
+//
+// A CounterRng draws its i-th output as a pure function of (seed, stream, i):
+// the (seed, stream) pair is mixed into a per-stream key once, and each draw
+// feeds an incrementing counter through two SplitMix64 rounds keyed by that
+// stream key. Two consequences the xoshiro-based Rng cannot offer:
+//
+//   * Splittability: streams for different ids are decorrelated by the key
+//     mix, not by position in one shared sequence — so changing the shard
+//     count can never silently correlate or realign per-shard streams the
+//     way Fork() chains (whose children depend on fork order) can.
+//   * Statelessness modulo the counter: a stream's n-th draw is independent
+//     of how many draws other streams made, which keeps parallel-mode
+//     fault-injection decisions a function of per-shard message order only.
+//
+// The draw path is two SplitMix64 rounds (the second keyed by an odd
+// stream-derived increment), cheap enough for per-message hot-path use. The
+// interface mirrors the subset of Rng the hot paths need; anything doing
+// setup-time sampling keeps using Rng.
+
+#ifndef SRC_COMMON_COUNTER_RNG_H_
+#define SRC_COMMON_COUNTER_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+
+namespace actop {
+
+class CounterRng {
+ public:
+  // Stream `stream` of the family keyed by `seed`. Streams with the same
+  // seed and different stream ids are mutually independent; so are streams
+  // with different seeds.
+  CounterRng(uint64_t seed, uint64_t stream)
+      // Mix seed and stream asymmetrically so (a, b) and (b, a) differ, then
+      // derive an odd per-stream increment: distinct increments put distinct
+      // streams on disjoint Weyl sequences before the output mix.
+      : key_(SplitMix64(SplitMix64(seed ^ 0x8f2bbc1d34a6c9e5ULL) ^
+                        SplitMix64(stream * 0x9e3779b97f4a7c15ULL + 0x3c6ef372fe94f82bULL))),
+        increment_(SplitMix64(key_ ^ 0x5851f42d4c957f2dULL) | 1ULL) {}
+
+  uint64_t NextU64() {
+    counter_++;
+    return SplitMix64(SplitMix64(counter_ * increment_) ^ key_);
+  }
+
+  // Uniform in [0, bound), unbiased (Lemire multiply-shift rejection).
+  uint64_t NextBounded(uint64_t bound) {
+    ACTOP_CHECK(bound > 0);
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Uniform duration in [lo, hi].
+  SimDuration NextUniformDuration(SimDuration lo, SimDuration hi) {
+    ACTOP_CHECK(lo <= hi);
+    return lo + static_cast<SimDuration>(NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Number of draws made so far (the counter value).
+  uint64_t draws() const { return counter_; }
+
+ private:
+  uint64_t key_;
+  uint64_t increment_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace actop
+
+#endif  // SRC_COMMON_COUNTER_RNG_H_

@@ -12,9 +12,14 @@
 // counts, and therefore iteration order are bit-identical to the default
 // allocator, which is what makes this swap replay-safe.
 //
-// Single-threaded, like everything else in the simulator. The pool is a
-// function-local static, so it outlives every simulation object and frees
-// its cached blocks at process exit (keeping ASan leak checking honest).
+// The pool is a function-local thread_local: serial runs see exactly the
+// historical single process-wide pool, while sharded runs give each worker
+// thread a private pool with zero sharing. The allocator itself is stateless
+// and resolves Instance() at call time, so a block allocated on one thread
+// (e.g. container setup on the coordinator) and freed on another simply
+// lands in the freeing thread's pool. Pools outlive every simulation object
+// and free their cached blocks at thread exit (keeping ASan leak checking
+// honest).
 
 #ifndef SRC_COMMON_POOL_ALLOCATOR_H_
 #define SRC_COMMON_POOL_ALLOCATOR_H_
@@ -32,7 +37,7 @@ namespace actop {
 class SizeClassPool {
  public:
   static SizeClassPool& Instance() {
-    static SizeClassPool pool;
+    thread_local SizeClassPool pool;
     return pool;
   }
 
@@ -88,7 +93,7 @@ class SizeClassPool {
   uint64_t recycled_ = 0;
 };
 
-// Stateless, always-equal allocator adapter over the process-wide pool.
+// Stateless, always-equal allocator adapter over the per-thread pool.
 // Always-equal means containers propagate/swap it trivially and a node
 // allocated by one container instance may legally be freed by another.
 template <typename T>

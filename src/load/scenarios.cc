@@ -12,6 +12,7 @@
 #include "src/load/rate_schedule.h"
 #include "src/runtime/client.h"
 #include "src/runtime/cluster.h"
+#include "src/sim/sharded_engine.h"
 #include "src/sim/simulation.h"
 #include "src/testing/chaos.h"
 #include "src/testing/invariants.h"
@@ -68,9 +69,10 @@ struct DriveSpec {
   std::function<void()> on_measure_end;
 };
 
-ScenarioReport Drive(Simulation* sim, Cluster* cluster, ClientPool* pool,
+ScenarioReport Drive(ShardedEngine* engine, Cluster* cluster, ClientPool* pool,
                      const RateSchedule* schedule, const DriveSpec& spec,
                      const ScenarioOptions& opt) {
+  Simulation* sim = &engine->sim();
   ScenarioReport report;
   report.scenario = spec.name;
   report.seed = opt.seed;
@@ -106,7 +108,7 @@ ScenarioReport Drive(Simulation* sim, Cluster* cluster, ClientPool* pool,
     cc.delay_prob = 0.05;
     cc.fault_client_links = false;
     cc.check_every_events = 1024;
-    chaos = std::make_unique<ChaosController>(sim, cluster, cc);
+    chaos = std::make_unique<ChaosController>(engine, cluster, cc);
     chaos->Start();
   }
 
@@ -119,12 +121,15 @@ ScenarioReport Drive(Simulation* sim, Cluster* cluster, ClientPool* pool,
     }
   };
 
+  // Invariant sweeps and metric snapshots run between engine windows: after
+  // RunUntil returns, every shard has advanced to the cut time and the
+  // workers are parked at the barrier, so cross-shard reads are race-free.
   auto run_phase_with_checks = [&](SimTime until) {
-    while (sim->now() + spec.invariant_period < until) {
-      sim->RunUntil(sim->now() + spec.invariant_period);
+    while (engine->now() + spec.invariant_period < until) {
+      engine->RunUntil(engine->now() + spec.invariant_period);
       run_checks();
     }
-    sim->RunUntil(until);
+    engine->RunUntil(until);
     run_checks();
   };
 
@@ -136,7 +141,7 @@ ScenarioReport Drive(Simulation* sim, Cluster* cluster, ClientPool* pool,
   // Measure window: reset everything measurable at the boundary (PR-5
   // measure-window discipline — the alloc snapshot hooks in here too).
   pool->ResetStats();
-  cluster->metrics().ResetLatencies();
+  cluster->ResetMetricsLatencies();
   auto sum_rejections = [&] {
     uint64_t total = 0;
     for (int s = 0; s < cluster->num_servers(); s++) {
@@ -149,13 +154,13 @@ ScenarioReport Drive(Simulation* sim, Cluster* cluster, ClientPool* pool,
   const uint64_t rejections0 = sum_rejections();
   const uint64_t arrivals0 = driver.arrivals();
   const uint64_t bursts0 = driver.burst_arrivals();
-  const uint64_t events0 = sim->events_executed();
+  const uint64_t events0 = engine->events_executed();
   const uint64_t allocs0 = opt.alloc_counter ? opt.alloc_counter() : 0;
 
   run_phase_with_checks(spec.warmup + spec.measure);
 
   const uint64_t allocs1 = opt.alloc_counter ? opt.alloc_counter() : 0;
-  const uint64_t events1 = sim->events_executed();
+  const uint64_t events1 = engine->events_executed();
   report.issued = pool->issued();
   report.arrivals = driver.arrivals() - arrivals0;
   report.burst_arrivals = driver.burst_arrivals() - bursts0;
@@ -170,7 +175,7 @@ ScenarioReport Drive(Simulation* sim, Cluster* cluster, ClientPool* pool,
   if (spec.on_measure_end) {
     spec.on_measure_end();
   }
-  sim->RunUntil(spec.warmup + spec.measure + spec.drain);
+  engine->RunUntil(spec.warmup + spec.measure + spec.drain);
 
   report.completed = pool->completed();
   report.timeouts = pool->timeouts();
@@ -226,6 +231,16 @@ ClusterConfig BaseCluster(int servers, uint64_t seed) {
   return cfg;
 }
 
+// Engine for a scenario: shards = the requested thread count (clamped to the
+// server count — each shard must own at least one server), lookahead = the
+// network's one-way latency, the conservative-window bound.
+ShardedEngineConfig EngineConfigFor(const ScenarioOptions& opt, const ClusterConfig& cfg) {
+  ShardedEngineConfig ec;
+  ec.shards = std::max(1, std::min(opt.threads, cfg.num_servers));
+  ec.lookahead = cfg.network.one_way_latency;
+  return ec;
+}
+
 // --- diurnal_chat ---------------------------------------------------------
 // Chat service under a compressed day/night curve: two 40-second "days" with
 // a 65% swing around the base posting rate, room churn running throughout.
@@ -234,8 +249,9 @@ ScenarioReport RunDiurnalChat(const ScenarioOptions& opt) {
   const int users = ScaleCount(50000, opt.scale, 500);
   const double rate = ScaleRate(1200.0, opt.scale, 20.0);
 
-  Simulation sim;
-  Cluster cluster(&sim, BaseCluster(8, opt.seed));
+  const ClusterConfig cfg = BaseCluster(8, opt.seed);
+  ShardedEngine engine(EngineConfigFor(opt, cfg));
+  Cluster cluster(&engine, cfg);
 
   ChatWorkloadConfig wl;
   wl.num_users = users;
@@ -262,7 +278,7 @@ ScenarioReport RunDiurnalChat(const ScenarioOptions& opt) {
   spec.slo.max_timeout_rate = 0.01;
   spec.slo.min_goodput_fraction = 0.98;
   spec.on_measure_end = [&chat] { chat.Stop(); };
-  return Drive(&sim, &cluster, &chat.clients(), &schedule, spec, opt);
+  return Drive(&engine, &cluster, &chat.clients(), &schedule, spec, opt);
 }
 
 // --- flash_crowd ----------------------------------------------------------
@@ -277,8 +293,9 @@ ScenarioReport RunFlashCrowd(const ScenarioOptions& opt) {
   const int users = ScaleCount(1000000, opt.scale, 2000);
   const double rate = ScaleRate(15000.0, opt.scale, 100.0);
 
-  Simulation sim;
-  Cluster cluster(&sim, BaseCluster(8, opt.seed));
+  const ClusterConfig cfg = BaseCluster(8, opt.seed);
+  ShardedEngine engine(EngineConfigFor(opt, cfg));
+  Cluster cluster(&engine, cfg);
 
   HeartbeatWorkloadConfig wl;
   wl.num_monitors = users;
@@ -316,7 +333,7 @@ ScenarioReport RunFlashCrowd(const ScenarioOptions& opt) {
   spec.slo.max_timeout_rate = 0.08;
   spec.slo.min_goodput_fraction = 0.90;
   spec.on_measure_end = [&fleet] { fleet.Stop(); };
-  return Drive(&sim, &cluster, &fleet.clients(), &schedule, spec, opt);
+  return Drive(&engine, &cluster, &fleet.clients(), &schedule, spec, opt);
 }
 
 // --- hot_key --------------------------------------------------------------
@@ -330,8 +347,10 @@ ScenarioReport RunHotKey(const ScenarioOptions& opt) {
   const int users = ScaleCount(200000, opt.scale, 2000);
   const double rate = ScaleRate(24000.0, opt.scale, 200.0);
 
-  Simulation sim;
-  Cluster cluster(&sim, BaseCluster(8, opt.seed));
+  const ClusterConfig cfg = BaseCluster(8, opt.seed);
+  ShardedEngine engine(EngineConfigFor(opt, cfg));
+  Cluster cluster(&engine, cfg);
+  Simulation& sim = engine.sim();
 
   HeartbeatWorkloadConfig wl;
   wl.num_monitors = users;
@@ -376,7 +395,7 @@ ScenarioReport RunHotKey(const ScenarioOptions& opt) {
   spec.slo.max_timeout_rate = 0.01;
   spec.slo.min_goodput_fraction = 0.98;
   spec.on_measure_end = [&fleet] { fleet.Stop(); };
-  return Drive(&sim, &cluster, &hot_pool, &schedule, spec, opt);
+  return Drive(&engine, &cluster, &hot_pool, &schedule, spec, opt);
 }
 
 // --- viral_social ---------------------------------------------------------
@@ -390,8 +409,10 @@ ScenarioReport RunViralSocial(const ScenarioOptions& opt) {
   const int users = ScaleCount(20000, opt.scale, 1000);
   const double rate = ScaleRate(5000.0, opt.scale, 100.0);
 
-  Simulation sim;
-  Cluster cluster(&sim, BaseCluster(8, opt.seed));
+  const ClusterConfig cfg = BaseCluster(8, opt.seed);
+  ShardedEngine engine(EngineConfigFor(opt, cfg));
+  Cluster cluster(&engine, cfg);
+  Simulation& sim = engine.sim();
 
   SocialWorkloadConfig wl;
   wl.num_users = users;
@@ -464,7 +485,7 @@ ScenarioReport RunViralSocial(const ScenarioOptions& opt) {
   spec.slo.max_timeout_rate = 0.02;
   spec.slo.min_goodput_fraction = 0.95;
   spec.on_measure_end = [&social] { social.Stop(); };
-  return Drive(&sim, &cluster, &social.clients(), &schedule, spec, opt);
+  return Drive(&engine, &cluster, &social.clients(), &schedule, spec, opt);
 }
 
 // --- reconnect_storm ------------------------------------------------------
@@ -478,8 +499,10 @@ ScenarioReport RunReconnectStorm(const ScenarioOptions& opt) {
   const double rate = ScaleRate(8000.0, opt.scale, 100.0);
   const auto burst = static_cast<uint64_t>(ScaleCount(15000, opt.scale, 200));
 
-  Simulation sim;
-  Cluster cluster(&sim, BaseCluster(8, opt.seed));
+  const ClusterConfig cfg = BaseCluster(8, opt.seed);
+  ShardedEngine engine(EngineConfigFor(opt, cfg));
+  Cluster cluster(&engine, cfg);
+  Simulation& sim = engine.sim();
 
   HeartbeatWorkloadConfig wl;
   wl.num_monitors = devices;
@@ -502,11 +525,18 @@ ScenarioReport RunReconnectStorm(const ScenarioOptions& opt) {
     // so at the storm instant the churn runs first (engine dispatches
     // same-instant events in scheduling order), then the burst arrives —
     // reconnects hit a directory that just dropped their registrations.
-    sim.ScheduleAt(at, [&cluster] {
+    // Parallel mode: the sweep mutates every server, so it rides the
+    // coordinator rail (which also runs before same-instant shard events).
+    auto churn_all = [&cluster] {
       for (int s = 0; s < cluster.num_servers(); s++) {
         cluster.ChurnDirectoryShard(static_cast<ServerId>(s));
       }
-    });
+    };
+    if (engine.parallel()) {
+      engine.ScheduleRailAt(at, churn_all);
+    } else {
+      sim.ScheduleAt(at, churn_all);
+    }
     schedule.AddBurst(at, burst);
   }
 
@@ -519,7 +549,7 @@ ScenarioReport RunReconnectStorm(const ScenarioOptions& opt) {
   spec.slo.max_timeout_rate = 0.01;
   spec.slo.min_goodput_fraction = 0.95;
   spec.on_measure_end = [&fleet] { fleet.Stop(); };
-  return Drive(&sim, &cluster, &fleet.clients(), &schedule, spec, opt);
+  return Drive(&engine, &cluster, &fleet.clients(), &schedule, spec, opt);
 }
 
 // --- halo_launch ----------------------------------------------------------
@@ -532,7 +562,6 @@ ScenarioReport RunHaloLaunch(const ScenarioOptions& opt) {
   const int players = ScaleCount(20000, opt.scale, 800);
   const double rate = ScaleRate(3000.0, opt.scale, 50.0);
 
-  Simulation sim;
   ClusterConfig cfg = BaseCluster(8, opt.seed);
   cfg.enable_partitioning = true;
   // Scaled exchange cadence, as in bench/halo_common.cc.
@@ -546,7 +575,8 @@ ScenarioReport RunHaloLaunch(const ScenarioOptions& opt) {
   cfg.enable_thread_optimization = true;
   cfg.thread_controller.period = Seconds(1);
   cfg.thread_controller.eta = 100e-6;
-  Cluster cluster(&sim, cfg);
+  ShardedEngine engine(EngineConfigFor(opt, cfg));
+  Cluster cluster(&engine, cfg);
 
   HaloWorkloadConfig wl;
   wl.target_players = players;
@@ -586,7 +616,7 @@ ScenarioReport RunHaloLaunch(const ScenarioOptions& opt) {
   spec.slo.max_timeout_rate = 0.02;
   spec.slo.min_goodput_fraction = 0.95;
   spec.on_measure_end = [&halo] { halo.Stop(); };
-  return Drive(&sim, &cluster, &halo.clients(), &schedule, spec, opt);
+  return Drive(&engine, &cluster, &halo.clients(), &schedule, spec, opt);
 }
 
 }  // namespace

@@ -38,6 +38,11 @@ struct ScenarioOptions {
   double scale = 1.0;   // user population & rate multiplier (1.0 = full)
   uint64_t seed = 1;
   bool chaos = false;   // inject faults during the measure window
+  // Engine shards (worker threads). 1 = the serial engine, byte-identical
+  // reports to the historical harness; >1 runs the cluster partitioned
+  // across shards under conservative time-window synchronization —
+  // deterministic for a fixed thread count (clamped to the server count).
+  int threads = 1;
   // Snapshot hook for allocs/event accounting (PR-5 measure-window
   // discipline): returns the binary's global allocation count. Only the
   // scenario_runner binary, which replaces operator new, wires this.

@@ -1,72 +1,157 @@
 #include "src/net/network.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
 
 namespace actop {
 
-Network::Network(Simulation* sim, NetworkConfig config) : sim_(sim), config_(config) {
+Network::Network(Simulation* sim, NetworkConfig config) : config_(config) {
   ACTOP_CHECK(sim != nullptr);
   ACTOP_CHECK(config.one_way_latency >= 0);
   ACTOP_CHECK(config.ns_per_byte >= 0.0);
+  lanes_.resize(1);
+  lanes_[0].sim = sim;
 }
 
-NodeId Network::AddNode(DeliverFn deliver) {
+Network::Network(ShardedEngine* engine, NetworkConfig config)
+    : engine_(engine), config_(config) {
+  ACTOP_CHECK(engine != nullptr);
+  ACTOP_CHECK(config.ns_per_byte >= 0.0);
+  // The conservative-window guarantee: cross-shard arrivals land at least
+  // one latency out, so they can never be due inside the current window.
+  ACTOP_CHECK(config.one_way_latency >= engine->lookahead());
+  const int shards = engine->shards();
+  lanes_.resize(static_cast<size_t>(shards));
+  for (int i = 0; i < shards; i++) {
+    lanes_[static_cast<size_t>(i)].sim = &engine->shard(i);
+  }
+  outboxes_.resize(static_cast<size_t>(shards) * static_cast<size_t>(shards));
+  engine_->set_exchange_hook([this](int dst) { DrainInbound(dst); });
+}
+
+Network::~Network() {
+  if (engine_ != nullptr) {
+    engine_->set_exchange_hook(nullptr);
+  }
+}
+
+NodeId Network::AddNode(DeliverFn deliver, int shard) {
   ACTOP_CHECK(deliver != nullptr);
+  ACTOP_CHECK(shard >= 0 && shard < shards());
   nodes_.push_back(std::move(deliver));
+  node_shard_.push_back(shard);
   return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+uint32_t Network::AcquireSlot(Lane& lane, NodeId from, NodeId to, uint32_t bytes,
+                              std::shared_ptr<void> msg) {
+  uint32_t slot;
+  if (lane.in_flight_free != kNilIndex) {
+    slot = lane.in_flight_free;
+    lane.in_flight_free = lane.in_flight[slot].free_next;
+  } else {
+    lane.in_flight.emplace_back();
+    slot = static_cast<uint32_t>(lane.in_flight.size() - 1);
+  }
+  InFlight& f = lane.in_flight[slot];
+  f.msg = std::move(msg);
+  f.from = from;
+  f.to = to;
+  f.bytes = bytes;
+  return slot;
 }
 
 void Network::Send(NodeId from, NodeId to, uint32_t bytes, std::shared_ptr<void> msg) {
   ACTOP_CHECK(from >= 0 && from < static_cast<NodeId>(nodes_.size()));
   ACTOP_CHECK(to >= 0 && to < static_cast<NodeId>(nodes_.size()));
-  total_messages_++;
-  total_bytes_ += bytes;
+  const int src_shard = node_shard_[static_cast<size_t>(from)];
+  Lane& lane = lanes_[static_cast<size_t>(src_shard)];
+  lane.total_messages++;
+  lane.total_bytes += bytes;
   SimDuration fault_delay = 0;
   if (fault_injector_) {
-    const FaultDecision fault = fault_injector_(from, to, bytes);
+    const FaultDecision fault =
+        fault_injector_(from, to, bytes, src_shard, lane.sim->now());
     if (fault.drop) {
-      dropped_messages_++;
+      lane.dropped_messages++;
       return;
     }
     if (fault.extra_delay > 0) {
-      delayed_messages_++;
+      lane.delayed_messages++;
       fault_delay = fault.extra_delay;
     }
   }
   const auto wire = static_cast<SimDuration>(config_.ns_per_byte * static_cast<double>(bytes));
   const SimDuration delay = config_.one_way_latency + wire + fault_delay;
-  // Park the payload in a slab slot; the event capture is [this, slot], which
-  // stays inline in the engine (capturing the shared_ptr directly would work
-  // too, but [this, from, to, bytes, msg] overflows the inline buffer).
-  uint32_t slot;
-  if (in_flight_free_ != kNilIndex) {
-    slot = in_flight_free_;
-    in_flight_free_ = in_flight_[slot].free_next;
-  } else {
-    in_flight_.emplace_back();
-    slot = static_cast<uint32_t>(in_flight_.size() - 1);
+  const int dst_shard = node_shard_[static_cast<size_t>(to)];
+  if (dst_shard == src_shard) {
+    // Same-shard fast path: park the payload in the lane slab; the event
+    // capture is [this, shard, slot], which stays inline in the engine
+    // (capturing the shared_ptr directly would work too, but
+    // [this, from, to, bytes, msg] overflows the inline buffer).
+    const uint32_t slot = AcquireSlot(lane, from, to, bytes, std::move(msg));
+    lane.sim->ScheduleAfter(delay, [this, src_shard, slot] { Deliver(src_shard, slot); });
+    return;
   }
-  InFlight& f = in_flight_[slot];
-  f.msg = std::move(msg);
-  f.from = from;
-  f.to = to;
-  f.bytes = bytes;
-  sim_->ScheduleAfter(delay, [this, slot] { Deliver(slot); });
+  // Cross-shard: arrival time delay >= one_way_latency >= lookahead past the
+  // sender's clock, hence at or beyond the current window's end — the
+  // destination merges it at the barrier, before its next window opens.
+  std::vector<OutMsg>& box =
+      outboxes_[static_cast<size_t>(src_shard) * static_cast<size_t>(shards()) +
+                static_cast<size_t>(dst_shard)];
+  box.push_back(OutMsg{lane.sim->now() + delay, lane.next_out_seq++, from, to, bytes,
+                       std::move(msg)});
 }
 
-void Network::Deliver(uint32_t slot) {
+void Network::Deliver(int shard, uint32_t slot) {
+  Lane& lane = lanes_[static_cast<size_t>(shard)];
   // Copy the fields out and recycle the slot before invoking the handler:
-  // the handler may Send, which can grow in_flight_ or reuse this slot.
-  InFlight& f = in_flight_[slot];
+  // the handler may Send, which can grow in_flight or reuse this slot.
+  InFlight& f = lane.in_flight[slot];
   std::shared_ptr<void> msg = std::move(f.msg);
   const NodeId from = f.from;
   const NodeId to = f.to;
   const uint32_t bytes = f.bytes;
-  f.free_next = in_flight_free_;
-  in_flight_free_ = slot;
+  f.free_next = lane.in_flight_free;
+  lane.in_flight_free = slot;
   nodes_[static_cast<size_t>(to)](from, bytes, std::move(msg));
+}
+
+void Network::DrainInbound(int dst) {
+  Lane& lane = lanes_[static_cast<size_t>(dst)];
+  std::vector<OutMsg>& scratch = lane.inbound_scratch;
+  scratch.clear();
+  const int k = shards();
+  // Gather per-src runs in src order; each run is already seq-ordered (and
+  // therefore when-ordered within equal timestamps as the sender emitted
+  // them). The stable sort below only has to order across sources.
+  for (int src = 0; src < k; src++) {
+    if (src == dst) {
+      continue;
+    }
+    std::vector<OutMsg>& box =
+        outboxes_[static_cast<size_t>(src) * static_cast<size_t>(k) + static_cast<size_t>(dst)];
+    for (OutMsg& m : box) {
+      scratch.push_back(std::move(m));
+    }
+    box.clear();
+  }
+  if (scratch.empty()) {
+    return;
+  }
+  // Deterministic merge order: (when, src_shard, seq). The gather above
+  // appended sources in ascending src order with ascending seq within each,
+  // so a stable sort by `when` alone realizes exactly that order without
+  // materializing src ids per message.
+  std::stable_sort(scratch.begin(), scratch.end(),
+                   [](const OutMsg& a, const OutMsg& b) { return a.when < b.when; });
+  for (OutMsg& m : scratch) {
+    const uint32_t slot = AcquireSlot(lane, m.from, m.to, m.bytes, std::move(m.msg));
+    lane.sim->ScheduleAt(m.when, [this, dst, slot] { Deliver(dst, slot); });
+  }
+  scratch.clear();
 }
 
 }  // namespace actop

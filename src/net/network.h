@@ -11,9 +11,21 @@
 // serialization-cost modeling at the endpoints) travels alongside.
 //
 // Hot path: each in-flight message parks its payload and routing fields in a
-// slab slot so the delivery event's capture is just [this, slot] — small
-// enough to stay inline in the engine's InlineTask, making Send allocation-
-// free at steady state (slots are recycled through a free list).
+// slab slot so the delivery event's capture is just [this, shard, slot] —
+// small enough to stay inline in the engine's InlineTask, making Send
+// allocation-free at steady state (slots are recycled through a free list).
+//
+// Sharded mode (Network over a ShardedEngine): each shard owns a "lane" —
+// its own in-flight slab, counters, and outbound sequence space. A message
+// between nodes on the same shard takes exactly the serial path on that
+// shard's Simulation. A cross-shard message is appended to the per-(src,dst)
+// outbox with its precomputed arrival time; the engine's window barrier
+// drains each destination's inboxes, merges them in (when, src_shard, seq)
+// order — deterministic for a fixed shard count, independent of thread
+// scheduling — and schedules them on the destination heap. The fixed
+// one-way latency is the engine's lookahead: every cross-shard arrival time
+// is at least one latency after its send, hence at or beyond the window end,
+// so draining at barriers can never deliver into a window already running.
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
@@ -24,6 +36,7 @@
 #include <vector>
 
 #include "src/common/sim_time.h"
+#include "src/sim/sharded_engine.h"
 #include "src/sim/simulation.h"
 
 namespace actop {
@@ -50,25 +63,49 @@ class Network {
   using DeliverFn = std::function<void(NodeId from, uint32_t bytes, std::shared_ptr<void> msg)>;
   // Inspects a message about to be sent and decides its fate. The injector
   // sees every message (application and control, server and client links).
-  using FaultFn = std::function<FaultDecision(NodeId from, NodeId to, uint32_t bytes)>;
+  // `src_shard` is the shard issuing the send (0 in serial mode) and `now`
+  // its current simulated time; in parallel mode the injector runs
+  // concurrently on every shard and must draw from per-shard streams.
+  using FaultFn = std::function<FaultDecision(NodeId from, NodeId to, uint32_t bytes,
+                                              int src_shard, SimTime now)>;
 
+  // Serial network: one lane on one engine (byte-identical to the
+  // pre-sharding implementation).
   Network(Simulation* sim, NetworkConfig config);
 
-  // Registers a node; `deliver` is invoked (via the event queue) for each
-  // message addressed to it. Returns the node's id.
-  NodeId AddNode(DeliverFn deliver);
+  // Sharded network: one lane per engine shard. Registers the engine's
+  // exchange hook; the engine must outlive this network. Requires
+  // one_way_latency >= engine lookahead (the conservative-window guarantee).
+  Network(ShardedEngine* engine, NetworkConfig config);
 
-  // Sends a message of the given (modeled) size from `from` to `to`.
+  ~Network();
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers a node on shard 0 (serial mode: the only shard); `deliver` is
+  // invoked (via the event queue) for each message addressed to it. Returns
+  // the node's id.
+  NodeId AddNode(DeliverFn deliver) { return AddNode(std::move(deliver), 0); }
+
+  // Registers a node on the given shard. Its handler runs on that shard's
+  // event loop. Setup-time only.
+  NodeId AddNode(DeliverFn deliver, int shard);
+
+  // Sends a message of the given (modeled) size from `from` to `to`. Must be
+  // called from `from`'s shard (serial mode: trivially true).
   void Send(NodeId from, NodeId to, uint32_t bytes, std::shared_ptr<void> msg);
 
   // Installs (or, with nullptr, removes) the chaos fault injector.
+  // Coordinator context only (setup, rail tasks).
   void set_fault_injector(FaultFn fn) { fault_injector_ = std::move(fn); }
 
-  uint64_t total_messages() const { return total_messages_; }
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t dropped_messages() const { return dropped_messages_; }
-  uint64_t delayed_messages() const { return delayed_messages_; }
+  uint64_t total_messages() const { return SumLanes(&Lane::total_messages); }
+  uint64_t total_bytes() const { return SumLanes(&Lane::total_bytes); }
+  uint64_t dropped_messages() const { return SumLanes(&Lane::dropped_messages); }
+  uint64_t delayed_messages() const { return SumLanes(&Lane::delayed_messages); }
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int shard_of_node(NodeId node) const { return node_shard_[static_cast<size_t>(node)]; }
+  int shards() const { return static_cast<int>(lanes_.size()); }
   const NetworkConfig& config() const { return config_; }
 
  private:
@@ -84,18 +121,57 @@ class Network {
     NodeId to = kNoNode;
   };
 
-  void Deliver(uint32_t slot);
+  // A message crossing shards: parked in the src->dst outbox until the
+  // window barrier. `when` is the absolute arrival time (computed at send,
+  // on the sender's clock); `seq` the sender lane's monotone sequence.
+  struct OutMsg {
+    SimTime when = 0;
+    uint64_t seq = 0;
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    uint32_t bytes = 0;
+    std::shared_ptr<void> msg;
+  };
 
-  Simulation* sim_;
+  // Per-shard network state. Cacheline-aligned: lanes for different shards
+  // are written concurrently during a window.
+  struct alignas(64) Lane {
+    Simulation* sim = nullptr;
+    std::vector<InFlight> in_flight;
+    uint32_t in_flight_free = kNilIndex;
+    uint64_t next_out_seq = 0;
+    uint64_t total_messages = 0;
+    uint64_t total_bytes = 0;
+    uint64_t dropped_messages = 0;
+    uint64_t delayed_messages = 0;
+    // Merge scratch for DrainInbound; reused every window.
+    std::vector<OutMsg> inbound_scratch;
+  };
+
+  uint32_t AcquireSlot(Lane& lane, NodeId from, NodeId to, uint32_t bytes,
+                       std::shared_ptr<void> msg);
+  void Deliver(int shard, uint32_t slot);
+  // Engine exchange hook: runs on shard `dst`'s worker at the window
+  // barrier; merges all inbound outboxes into dst's heap.
+  void DrainInbound(int dst);
+
+  uint64_t SumLanes(uint64_t Lane::* field) const {
+    uint64_t total = 0;
+    for (const Lane& lane : lanes_) {
+      total += lane.*field;
+    }
+    return total;
+  }
+
+  ShardedEngine* engine_ = nullptr;  // null in serial mode
   NetworkConfig config_;
   std::vector<DeliverFn> nodes_;
-  std::vector<InFlight> in_flight_;
-  uint32_t in_flight_free_ = kNilIndex;
+  std::vector<int32_t> node_shard_;
+  std::vector<Lane> lanes_;
+  // outboxes_[src * shards + dst], dst != src. Written by src's worker
+  // during the window, drained by dst's worker at the barrier.
+  std::vector<std::vector<OutMsg>> outboxes_;
   FaultFn fault_injector_;
-  uint64_t total_messages_ = 0;
-  uint64_t total_bytes_ = 0;
-  uint64_t dropped_messages_ = 0;
-  uint64_t delayed_messages_ = 0;
 };
 
 }  // namespace actop

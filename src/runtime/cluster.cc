@@ -11,26 +11,59 @@ Cluster::Cluster(Simulation* sim, ClusterConfig config)
   ACTOP_CHECK(sim != nullptr);
   ACTOP_CHECK(config_.num_servers >= 1);
   network_ = std::make_unique<Network>(sim_, config_.network);
+  Init();
+}
+
+Cluster::Cluster(ShardedEngine* engine, ClusterConfig config)
+    : sim_(&engine->sim()), engine_(engine), config_(std::move(config)), rng_(config_.seed) {
+  ACTOP_CHECK(config_.num_servers >= 1);
+  // Each shard needs at least one server to own.
+  ACTOP_CHECK(engine_->shards() <= config_.num_servers);
+  network_ = std::make_unique<Network>(engine_, config_.network);
+  Init();
+  if (parallel()) {
+    engine_->set_barrier_hook([this] { SnapshotGlobals(); });
+  }
+}
+
+void Cluster::Init() {
+  const int num_shards = shards();
+  metrics_.reserve(static_cast<size_t>(num_shards));
+  state_seen_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; s++) {
+    metrics_.push_back(std::make_unique<ClusterMetrics>());
+    state_seen_.push_back(std::make_unique<std::unordered_set<ActorId>>());
+  }
 
   for (int i = 0; i < config_.num_servers; i++) {
-    auto server = std::make_unique<Server>(sim_, this, static_cast<ServerId>(i), config_.server,
-                                           rng_.NextU64());
+    const int shard = ShardOfServer(static_cast<ServerId>(i));
+    Simulation* shard_sim = engine_ == nullptr ? sim_ : &engine_->shard(shard);
+    auto server = std::make_unique<Server>(shard_sim, this, static_cast<ServerId>(i),
+                                           config_.server, rng_.NextU64());
     Server* raw = server.get();
     const NodeId node = network_->AddNode(
         [raw](NodeId from, uint32_t bytes, std::shared_ptr<void> msg) {
           raw->OnNetworkMessage(from, bytes, std::move(msg));
-        });
+        },
+        shard);
     ACTOP_CHECK(node == static_cast<NodeId>(i));
     server->set_node(node);
+    server->set_shard(shard);
+    server->set_metrics(metrics_[static_cast<size_t>(shard)].get());
+    ClusterMetrics* shard_metrics = metrics_[static_cast<size_t>(shard)].get();
     server->set_call_latency_observer(
-        [this](SimDuration latency, bool remote) { metrics_.RecordActorCall(latency, remote); });
+        [shard_metrics](SimDuration latency, bool remote) {
+          shard_metrics->RecordActorCall(latency, remote);
+        });
     servers_.push_back(std::move(server));
   }
 
   if (config_.enable_partitioning) {
     for (int i = 0; i < config_.num_servers; i++) {
       Server* server = servers_[static_cast<size_t>(i)].get();
-      auto agent = std::make_unique<PartitionAgent>(sim_, this, server, config_.partition);
+      const int shard = ShardOfServer(static_cast<ServerId>(i));
+      Simulation* shard_sim = engine_ == nullptr ? sim_ : &engine_->shard(shard);
+      auto agent = std::make_unique<PartitionAgent>(shard_sim, this, server, config_.partition);
       PartitionAgent* raw = agent.get();
       server->set_edge_observer([raw](ActorId local, ActorId peer, ServerId dest) {
         raw->ObserveEdge(local, peer, dest);
@@ -48,15 +81,21 @@ Cluster::Cluster(Simulation* sim, ClusterConfig config)
 
   if (config_.enable_thread_optimization) {
     for (int i = 0; i < config_.num_servers; i++) {
+      const int shard = ShardOfServer(static_cast<ServerId>(i));
+      Simulation* shard_sim = engine_ == nullptr ? sim_ : &engine_->shard(shard);
       ModelControllerConfig cc = config_.thread_controller;
       cc.no_blocking.assign(static_cast<size_t>(Server::kNumStages), true);
       thread_controllers_.push_back(std::make_unique<ModelThreadController>(
-          sim_, servers_[static_cast<size_t>(i)].get(), cc));
+          shard_sim, servers_[static_cast<size_t>(i)].get(), cc));
     }
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  if (engine_ != nullptr && parallel()) {
+    engine_->set_barrier_hook(nullptr);
+  }
+}
 
 void Cluster::RegisterActorType(ActorType type, ActorFactory factory, CostModel costs) {
   ACTOP_CHECK(factory != nullptr);
@@ -94,10 +133,26 @@ ServerId Cluster::ServerOfNode(NodeId node) const {
 }
 
 NodeId Cluster::AddClientNode(Network::DeliverFn deliver) {
-  return network_->AddNode(std::move(deliver));
+  return network_->AddNode(std::move(deliver), 0);
 }
 
-Actor* Cluster::GetOrCreateActor(ActorId actor) {
+Actor* Cluster::GetOrCreateActor(ActorId actor, int shard) {
+  if (parallel()) {
+    state_seen_[static_cast<size_t>(shard)]->insert(actor);
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = state_store_.find(actor);
+    if (it != state_store_.end()) {
+      return it->second.get();
+    }
+    const ActorType type = ActorTypeOf(actor);
+    auto type_it = actor_types_.find(type);
+    ACTOP_CHECK(type_it != actor_types_.end());
+    auto instance = type_it->second.factory(actor);
+    ACTOP_CHECK(instance != nullptr);
+    Actor* raw = instance.get();
+    state_store_.emplace(actor, std::move(instance));
+    return raw;
+  }
   auto it = state_store_.find(actor);
   if (it != state_store_.end()) {
     return it->second.get();
@@ -112,7 +167,23 @@ Actor* Cluster::GetOrCreateActor(ActorId actor) {
   return raw;
 }
 
-bool Cluster::HasActorState(ActorId actor) const { return state_store_.contains(actor); }
+bool Cluster::HasActorState(ActorId actor) const {
+  if (parallel()) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    return state_store_.contains(actor);
+  }
+  return state_store_.contains(actor);
+}
+
+bool Cluster::HasActorStateForPlacement(ActorId actor, int shard) const {
+  if (parallel()) {
+    // Answer from the shard's own history: whether another shard created
+    // this actor earlier in the same window must not influence (or
+    // un-determinize) this shard's placement choice.
+    return state_seen_[static_cast<size_t>(shard)]->contains(actor);
+  }
+  return state_store_.contains(actor);
+}
 
 const CostModel& Cluster::CostsFor(ActorId actor) const {
   auto it = actor_types_.find(ActorTypeOf(actor));
@@ -121,9 +192,63 @@ const CostModel& Cluster::CostsFor(ActorId actor) const {
 }
 
 int64_t Cluster::total_activations() const {
+  if (parallel()) {
+    return activation_snapshot_;
+  }
   int64_t total = 0;
   for (const auto& server : servers_) {
     total += server->num_activations();
+  }
+  return total;
+}
+
+void Cluster::SnapshotGlobals() {
+  int64_t total = 0;
+  for (const auto& server : servers_) {
+    total += server->num_activations();
+  }
+  activation_snapshot_ = total;
+}
+
+ClusterMetrics::Window Cluster::TakeMetricsWindow() {
+  ClusterMetrics::Window merged = metrics_[0]->TakeWindow();
+  for (size_t s = 1; s < metrics_.size(); s++) {
+    const ClusterMetrics::Window w = metrics_[s]->TakeWindow();
+    merged.remote_msgs += w.remote_msgs;
+    merged.local_msgs += w.local_msgs;
+    merged.migrations += w.migrations;
+    merged.latency_sum_ns += w.latency_sum_ns;
+    merged.latency_count += w.latency_count;
+  }
+  return merged;
+}
+
+void Cluster::ResetMetricsLatencies() {
+  for (auto& m : metrics_) {
+    m->ResetLatencies();
+  }
+}
+
+Histogram Cluster::MergedActorCallLatency() const {
+  Histogram merged;
+  for (const auto& m : metrics_) {
+    merged.Merge(m->actor_call_latency());
+  }
+  return merged;
+}
+
+Histogram Cluster::MergedRemoteActorCallLatency() const {
+  Histogram merged;
+  for (const auto& m : metrics_) {
+    merged.Merge(m->remote_actor_call_latency());
+  }
+  return merged;
+}
+
+uint64_t Cluster::MetricsTotalMigrations() const {
+  uint64_t total = 0;
+  for (const auto& m : metrics_) {
+    total += m->total_migrations();
   }
   return total;
 }

@@ -6,12 +6,27 @@
 // the object itself survives deactivation and migration, as Orleans state
 // does through storage), and hosts the optional ActOp components — one
 // PartitionAgent and one ModelThreadController per server.
+//
+// Sharded mode (construct with a ShardedEngine): servers are block-mapped
+// onto shards (server i -> shard i*K/N), each server's events — SEDA stages,
+// CPU model, partition agent, thread controller — run on its shard's
+// Simulation, and clients/drivers live on shard 0. Cross-shard coupling is
+// confined to:
+//   * the actor state store (mutex-guarded creation; per-shard "seen" sets
+//     answer placement queries so a shard's decision depends only on its own
+//     history — deterministic for a fixed shard count),
+//   * per-shard ClusterMetrics instances with merged cluster-level views,
+//   * total_activations(), which in parallel mode reads a snapshot taken at
+//     each window barrier (the live sum would race mid-window).
+// With shards == 1 every path reduces to the serial one, byte-for-byte.
 
 #ifndef SRC_RUNTIME_CLUSTER_H_
 #define SRC_RUNTIME_CLUSTER_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/actor/actor.h"
@@ -22,6 +37,7 @@
 #include "src/runtime/metrics.h"
 #include "src/runtime/partition_agent.h"
 #include "src/runtime/server.h"
+#include "src/sim/sharded_engine.h"
 #include "src/sim/simulation.h"
 
 namespace actop {
@@ -41,7 +57,11 @@ struct ClusterConfig {
 
 class Cluster {
  public:
+  // Serial cluster on a single engine (the pre-sharding construction).
   Cluster(Simulation* sim, ClusterConfig config);
+  // Sharded cluster: servers block-mapped across the engine's shards.
+  // Requires shards <= num_servers. The engine must outlive the cluster.
+  Cluster(ShardedEngine* engine, ClusterConfig config);
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -54,9 +74,34 @@ class Cluster {
   // controllers). Call after workload setup.
   void StartOptimizers();
 
+  // Shard 0's engine: the driver shard (clients, workloads, setup code).
   Simulation& sim() { return *sim_; }
+  // Non-null in sharded mode.
+  ShardedEngine* engine() { return engine_; }
+  bool parallel() const { return engine_ != nullptr && engine_->parallel(); }
+  int shards() const { return engine_ == nullptr ? 1 : engine_->shards(); }
+  // Block map: server i runs on shard i*K/N. Uses the config count, not
+  // servers_.size(): Init() needs the map while servers_ is still filling.
+  int ShardOfServer(ServerId id) const {
+    return static_cast<int>(static_cast<int64_t>(id) * shards() / config_.num_servers);
+  }
+
   Network& network() { return *network_; }
-  ClusterMetrics& metrics() { return metrics_; }
+
+  // Shard 0's metrics instance. In serial mode this is the only one, so the
+  // accessor keeps its historical meaning; parallel-aware consumers use the
+  // merged views below.
+  ClusterMetrics& metrics() { return *metrics_[0]; }
+  ClusterMetrics& metrics_of_shard(int shard) { return *metrics_[static_cast<size_t>(shard)]; }
+
+  // Cluster-level metric views: sum/merge across shards. With one shard they
+  // are exactly the direct calls on metrics().
+  ClusterMetrics::Window TakeMetricsWindow();
+  void ResetMetricsLatencies();
+  Histogram MergedActorCallLatency() const;
+  Histogram MergedRemoteActorCallLatency() const;
+  uint64_t MetricsTotalMigrations() const;
+
   int num_servers() const { return static_cast<int>(servers_.size()); }
   Server& server(int i) { return *servers_[static_cast<size_t>(i)]; }
   PartitionAgent* partition_agent(int i);
@@ -64,16 +109,26 @@ class Cluster {
   // Node/server address mapping (clients occupy nodes above the servers).
   NodeId NodeOfServer(ServerId id) const;
   ServerId ServerOfNode(NodeId node) const;  // kNoServer for client nodes
+  // Client nodes attach to shard 0 (the driver shard).
   NodeId AddClientNode(Network::DeliverFn deliver);
 
   // --- Actor state store ---
   // Returns the application object for `actor`, creating it on first use.
-  Actor* GetOrCreateActor(ActorId actor);
+  // `shard` is the calling shard (used to maintain the per-shard seen sets);
+  // the single-argument form is for driver/test code on shard 0.
+  Actor* GetOrCreateActor(ActorId actor) { return GetOrCreateActor(actor, 0); }
+  Actor* GetOrCreateActor(ActorId actor, int shard);
   // True if the actor has ever been activated (its state exists).
   bool HasActorState(ActorId actor) const;
+  // Placement-policy variant of HasActorState: in parallel mode it answers
+  // from the calling shard's own history only, so the answer cannot depend
+  // on what another shard did concurrently in the same window. Serial mode:
+  // identical to HasActorState.
+  bool HasActorStateForPlacement(ActorId actor, int shard) const;
   const CostModel& CostsFor(ActorId actor) const;
 
   // Total activations across all servers (placement-balance target input).
+  // Parallel mode returns the last window-barrier snapshot.
   int64_t total_activations() const;
 
   // Fraction of actor-to-actor application messages that crossed servers,
@@ -87,20 +142,26 @@ class Cluster {
   // Simulates a hard crash + instant replacement of server `id`: all its
   // activations vanish (state survives in the store), its directory shard
   // entries for actors it owned are evicted cluster-wide, and remote caches
-  // drop entries pointing at it.
+  // drop entries pointing at it. In parallel mode: coordinator/rail context
+  // only (mutates every server).
   void CrashServer(ServerId id);
 
   // Simulates churn of the directory shard homed at `id` (shard handoff /
   // idle-activation collection sweep): every idle actor registered there is
   // deactivated and unregistered, so subsequent calls must re-place and
   // re-register it from scratch. Busy actors keep their entries. Returns the
-  // number of actors churned.
+  // number of actors churned. Parallel mode: coordinator/rail context only.
   int ChurnDirectoryShard(ServerId id);
 
   Rng& rng() { return rng_; }
 
  private:
+  void Init();
+  // Window-barrier hook (parallel mode): refreshes cross-shard snapshots.
+  void SnapshotGlobals();
+
   Simulation* sim_;
+  ShardedEngine* engine_ = nullptr;
   ClusterConfig config_;
   Rng rng_;
   std::unique_ptr<Network> network_;
@@ -108,8 +169,21 @@ class Cluster {
   std::vector<std::unique_ptr<PartitionAgent>> agents_;
   std::vector<std::unique_ptr<ModelThreadController>> thread_controllers_;
   std::unordered_map<ActorType, ActorTypeInfo> actor_types_;
+
+  // Guards state_store_ in parallel mode (activation creation can race
+  // across shards); uncontended in serial mode.
+  mutable std::mutex state_mu_;
   std::unordered_map<ActorId, std::unique_ptr<Actor>> state_store_;
-  ClusterMetrics metrics_;
+  // Per-shard sets of actors each shard has created or re-activated; backs
+  // HasActorStateForPlacement in parallel mode. Padded via separate
+  // allocations (one set per shard, touched only by that shard).
+  std::vector<std::unique_ptr<std::unordered_set<ActorId>>> state_seen_;
+
+  // One metrics instance per shard; shard workers write only their own.
+  std::vector<std::unique_ptr<ClusterMetrics>> metrics_;
+
+  // Barrier snapshot of total activations (parallel mode).
+  int64_t activation_snapshot_ = 0;
 };
 
 }  // namespace actop

@@ -21,13 +21,15 @@ struct EnvelopePool {
 };
 
 EnvelopePool& Pool() {
-  static EnvelopePool pool;
+  thread_local EnvelopePool pool;
   return pool;
 }
 
 // shared_ptr deleter: instead of destroying the envelope, reset it and park
-// it for the next MakeEnvelope(). The control block is released separately
-// through EnvelopeBlockCache by the allocator below.
+// it for the next MakeEnvelope(). Routes through Pool() at release time, so
+// an envelope whose last reference drops on another shard's thread (a
+// cross-shard message) parks in the *releasing* thread's pool — no lock, no
+// race, and each pool stays bounded by kMaxCached.
 struct EnvelopeRecycler {
   void operator()(Envelope* env) const noexcept {
     EnvelopePool& pool = Pool();
@@ -40,10 +42,32 @@ struct EnvelopeRecycler {
   }
 };
 
+// Stateless control-block allocator: resolves EnvelopeBlockCache() (a
+// thread_local) at allocate/deallocate time rather than capturing a cache
+// pointer in the control block. A pointer captured at creation would be
+// dereferenced by whichever thread drops the last reference — a data race
+// for cross-shard envelopes.
+template <typename U>
+struct EnvelopeBlockAllocator {
+  using value_type = U;
+
+  EnvelopeBlockAllocator() = default;
+  template <typename V>
+  EnvelopeBlockAllocator(const EnvelopeBlockAllocator<V>&) {}  // NOLINT
+
+  U* allocate(size_t n) { return static_cast<U*>(EnvelopeBlockCache().Allocate(n * sizeof(U))); }
+  void deallocate(U* p, size_t n) { EnvelopeBlockCache().Release(p, n * sizeof(U)); }
+
+  template <typename V>
+  bool operator==(const EnvelopeBlockAllocator<V>&) const {
+    return true;
+  }
+};
+
 }  // namespace
 
 RecyclingBlockCache& EnvelopeBlockCache() {
-  static RecyclingBlockCache cache;
+  thread_local RecyclingBlockCache cache;
   return cache;
 }
 
@@ -58,8 +82,7 @@ std::shared_ptr<Envelope> MakeEnvelope() {
     env = new Envelope();
     pool.fresh++;
   }
-  return std::shared_ptr<Envelope>(env, EnvelopeRecycler{},
-                                   RecyclingAllocator<Envelope>(&EnvelopeBlockCache()));
+  return std::shared_ptr<Envelope>(env, EnvelopeRecycler{}, EnvelopeBlockAllocator<Envelope>());
 }
 
 EnvelopePoolStats GetEnvelopePoolStats() {

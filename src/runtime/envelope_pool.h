@@ -15,10 +15,12 @@
 //     scheme) allocates through a RecyclingBlockCache, so it is also free
 //     after warm-up.
 //
-// Both pools are function-local statics (the simulator is single-threaded
-// per process; benches and tests each run one cluster at a time), so they
-// outlive every simulation object and free their cached blocks at process
-// exit.
+// Both pools are function-local thread_locals: in serial mode that is the
+// one main-thread pool (identical to the historical process-wide static);
+// under the sharded engine each shard worker owns a private pool, and an
+// envelope released on a different thread than it was created on simply
+// parks in the releasing thread's pool. Pools outlive every simulation
+// object and free their cached blocks at thread exit.
 
 #ifndef SRC_RUNTIME_ENVELOPE_POOL_H_
 #define SRC_RUNTIME_ENVELOPE_POOL_H_
@@ -32,7 +34,7 @@
 
 namespace actop {
 
-// The process-wide control-block cache (exposed for stats and tests).
+// The calling thread's control-block cache (exposed for stats and tests).
 RecyclingBlockCache& EnvelopeBlockCache();
 
 // Returns a pooled envelope with every field at its default-constructed

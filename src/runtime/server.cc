@@ -15,10 +15,11 @@ const char* const kStageNames[Server::kNumStages] = {"receive", "worker", "serve
 
 // Combined object+control-block cache for ServerCallContext: one context is
 // created per delivered call, so recycling the make_shared block keeps the
-// turn-dispatch path off the allocator. Function-local static like the
-// envelope pool (single-threaded process; outlives every simulation).
+// turn-dispatch path off the allocator. thread_local: each shard worker gets
+// its own cache (a context is created and destroyed on the same shard's
+// events, so blocks never migrate threads; outlives every simulation).
 RecyclingBlockCache& CallContextBlockCache() {
-  static RecyclingBlockCache cache;
+  thread_local RecyclingBlockCache cache;
   return cache;
 }
 }  // namespace
@@ -258,7 +259,7 @@ ServerId Server::SuggestPlacement(ActorId actor) {
   if (hinted != kNoServer) {
     return hinted;
   }
-  if (cluster_->HasActorState(actor)) {
+  if (cluster_->HasActorStateForPlacement(actor, shard_)) {
     return id_;
   }
   switch (config_.placement) {
@@ -332,7 +333,7 @@ void Server::ActivateAndDeliver(std::shared_ptr<Envelope> env, uint64_t token) {
   const ActorId target = env->target;
   if (!activations_.contains(target)) {
     Activation act;
-    act.instance = cluster_->GetOrCreateActor(target);
+    act.instance = cluster_->GetOrCreateActor(target, shard_);
     act.activation_pending = true;
     act.dir_token = token;
     activations_.emplace(target, std::move(act));
@@ -629,7 +630,7 @@ void Server::NoteAppSend(ActorId from, ActorId to, ServerId dest_server, bool re
   } else {
     local_app_messages_++;
   }
-  cluster_->metrics().CountAppMessage(remote);
+  metrics_->CountAppMessage(remote);
   if (edge_observer_) {
     edge_observer_(from, to, dest_server);
   }
@@ -679,7 +680,7 @@ bool Server::MigrateActor(ActorId actor, ServerId dest) {
     return false;
   }
   migrations_out_++;
-  cluster_->metrics().CountMigration();
+  metrics_->CountMigration();
   // Opportunistic migration (§4.3): drop the directory entry and prime the
   // location caches of this server and the destination. The next call to the
   // actor re-activates it at `dest`.
@@ -703,7 +704,7 @@ void Server::ForceActivateForTest(ActorId actor) {
     return;
   }
   Activation act;
-  act.instance = cluster_->GetOrCreateActor(actor);
+  act.instance = cluster_->GetOrCreateActor(actor, shard_);
   act.activation_pending = true;
   activations_.emplace(actor, std::move(act));
   activations_started_++;

@@ -44,6 +44,7 @@
 namespace actop {
 
 class Cluster;
+class ClusterMetrics;
 
 // How the directory places an actor that has never been activated. (After a
 // deactivation or migration, re-placement follows the paper's §4.3 rule:
@@ -125,6 +126,13 @@ class Server : public ThreadHost {
   void set_node(NodeId node) { node_ = node; }
   NodeId node() const { return node_; }
   ServerId id() const { return id_; }
+
+  // Wired by the Cluster: the engine shard this server runs on, and the
+  // shard-local metrics instance it counts into (shard 0 / the only instance
+  // in serial mode).
+  void set_shard(int shard) { shard_ = shard; }
+  int shard() const { return shard_; }
+  void set_metrics(ClusterMetrics* metrics) { metrics_ = metrics; }
 
   // Network delivery entry point (wired by the Cluster).
   void OnNetworkMessage(NodeId from, uint32_t bytes, std::shared_ptr<void> msg);
@@ -287,6 +295,8 @@ class Server : public ThreadHost {
   ServerConfig config_;
   Rng rng_;
   NodeId node_ = kNoNode;
+  int shard_ = 0;
+  ClusterMetrics* metrics_ = nullptr;
 
   std::unique_ptr<CpuModel> cpu_;
   std::vector<std::unique_ptr<Stage>> stages_;

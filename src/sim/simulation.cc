@@ -274,6 +274,15 @@ uint64_t Simulation::RunUntil(SimTime deadline) {
   return n;
 }
 
+uint64_t Simulation::RunWindow(SimTime end) {
+  uint64_t n = 0;
+  while (!heap_.empty() && heap_[0].when < end) {
+    DispatchTop();
+    n++;
+  }
+  return n;
+}
+
 bool Simulation::RunOne() {
   if (heap_.empty()) return false;
   DispatchTop();

@@ -101,6 +101,26 @@ class Simulation {
   // Runs the single next event if any; returns false when the queue is empty.
   bool RunOne();
 
+  // Timestamp of the earliest pending event, or kSimTimeMax when the queue
+  // is empty. The sharded engine uses this to compute conservative window
+  // bounds across shards.
+  SimTime next_event_time() const { return heap_.empty() ? kSimTimeMax : heap_[0].when; }
+
+  // Runs events with timestamp strictly < `end` and leaves the clock at the
+  // last dispatched event (it does NOT advance to `end`): the window owner
+  // advances all shard clocks together via AdvanceClockTo once the barrier
+  // closes. Returns the number of events run.
+  uint64_t RunWindow(SimTime end);
+
+  // Advances the clock to `t` without running anything. Requires t >= now()
+  // and no pending event earlier than `t` — i.e. the window up to `t` has
+  // been fully executed.
+  void AdvanceClockTo(SimTime t) {
+    ACTOP_CHECK(t >= now_);
+    ACTOP_CHECK(heap_.empty() || heap_[0].when >= t);
+    now_ = t;
+  }
+
   // Observation hook invoked after every dispatched event (chaos harness:
   // event-batch invariant checks). The hook must not run events itself, but
   // may schedule new ones. Pass nullptr to remove.

@@ -19,6 +19,27 @@ ChaosController::ChaosController(Simulation* sim, Cluster* cluster, ChaosConfig 
   ACTOP_CHECK(config_.faults_start <= config_.faults_end);
 }
 
+ChaosController::ChaosController(ShardedEngine* engine, Cluster* cluster, ChaosConfig config)
+    : sim_(&engine->sim()),
+      engine_(engine),
+      cluster_(cluster),
+      config_(config),
+      tick_rng_(SplitMix64(config.seed)),
+      message_rng_(SplitMix64(config.seed ^ 0x6368616f732d6d73ULL)),
+      checker_(cluster) {
+  ACTOP_CHECK(config_.faults_start <= config_.faults_end);
+  if (engine_->parallel()) {
+    // One counter-based stream per shard, all keyed by the same legacy
+    // message-stream constant: decisions depend only on each shard's own
+    // message order, never on another shard's draw count.
+    message_lanes_.reserve(static_cast<size_t>(engine_->shards()));
+    for (int s = 0; s < engine_->shards(); s++) {
+      message_lanes_.emplace_back(config.seed ^ 0x6368616f732d6d73ULL,
+                                  static_cast<uint64_t>(s));
+    }
+  }
+}
+
 ChaosController::~ChaosController() {
   if (started_) {
     Stop();
@@ -29,7 +50,24 @@ void ChaosController::Start() {
   ACTOP_CHECK(!started_);
   started_ = true;
   cluster_->network().set_fault_injector(
-      [this](NodeId from, NodeId to, uint32_t bytes) { return OnMessage(from, to, bytes); });
+      [this](NodeId from, NodeId to, uint32_t bytes, int src_shard, SimTime now) {
+        return OnMessage(from, to, bytes, src_shard, now);
+      });
+  if (parallel()) {
+    // Faults and sweeps ride the coordinator rail: every rail task sees all
+    // shards advanced to its cut time, so cluster-global mutations (crash,
+    // churn, migrate) and the invariant sweep are race-free by construction.
+    const SimTime first = std::max(engine_->now(), config_.faults_start);
+    if (config_.duplication_bug_actor != kNoActor) {
+      engine_->ScheduleRailAt(first, [this] { InjectDuplicationBug(); });
+    }
+    tick_rail_ = engine_->ScheduleRailAt(first, [this] { Tick(); });
+    if (config_.check_every_events > 0) {
+      check_rail_ = engine_->ScheduleRailAt(engine_->now() + config_.tick,
+                                            [this] { RailCheck(); });
+    }
+    return;
+  }
   if (config_.check_every_events > 0) {
     sim_->set_after_event_hook([this] {
       if (++events_seen_ % config_.check_every_events == 0) {
@@ -48,8 +86,21 @@ void ChaosController::Stop() {
   ACTOP_CHECK(started_);
   started_ = false;
   cluster_->network().set_fault_injector(nullptr);
+  if (parallel()) {
+    engine_->CancelRail(tick_rail_);
+    engine_->CancelRail(check_rail_);
+    return;
+  }
   sim_->set_after_event_hook(nullptr);
   sim_->Cancel(tick_event_);
+}
+
+void ChaosController::RailCheck() {
+  if (!started_) {
+    return;
+  }
+  RecordViolations(checker_.CheckInstant());
+  check_rail_ = engine_->ScheduleRailAt(engine_->now() + config_.tick, [this] { RailCheck(); });
 }
 
 void ChaosController::Tick() {
@@ -93,7 +144,11 @@ void ChaosController::Tick() {
     }
   }
 
-  tick_event_ = sim_->ScheduleAfter(config_.tick, [this] { Tick(); });
+  if (parallel()) {
+    tick_rail_ = engine_->ScheduleRailAt(engine_->now() + config_.tick, [this] { Tick(); });
+  } else {
+    tick_event_ = sim_->ScheduleAfter(config_.tick, [this] { Tick(); });
+  }
 }
 
 void ChaosController::InjectDuplicationBug() {
@@ -128,15 +183,28 @@ void ChaosController::RecordViolations(const std::vector<std::string>& found) {
   }
 }
 
-FaultDecision ChaosController::OnMessage(NodeId from, NodeId to, uint32_t bytes) {
+FaultDecision ChaosController::OnMessage(NodeId from, NodeId to, uint32_t bytes, int src_shard,
+                                         SimTime now) {
   (void)bytes;
   FaultDecision decision;
-  const SimTime now = sim_->now();
   if (now < config_.faults_start || now >= config_.faults_end) {
     return decision;
   }
   if (!config_.fault_client_links && (cluster_->ServerOfNode(from) == kNoServer ||
                                       cluster_->ServerOfNode(to) == kNoServer)) {
+    return decision;
+  }
+  if (parallel()) {
+    MessageLane& lane = message_lanes_[static_cast<size_t>(src_shard)];
+    if (config_.drop_prob > 0.0 && lane.rng.NextBool(config_.drop_prob)) {
+      decision.drop = true;
+      lane.dropped++;
+      return decision;
+    }
+    if (config_.delay_prob > 0.0 && lane.rng.NextBool(config_.delay_prob)) {
+      decision.extra_delay = lane.rng.NextUniformDuration(0, config_.max_extra_delay);
+      lane.delayed++;
+    }
     return decision;
   }
   if (config_.drop_prob > 0.0 && message_rng_.NextBool(config_.drop_prob)) {
@@ -149,6 +217,22 @@ FaultDecision ChaosController::OnMessage(NodeId from, NodeId to, uint32_t bytes)
     delayed_messages_++;
   }
   return decision;
+}
+
+uint64_t ChaosController::dropped_messages() const {
+  uint64_t total = dropped_messages_;
+  for (const MessageLane& lane : message_lanes_) {
+    total += lane.dropped;
+  }
+  return total;
+}
+
+uint64_t ChaosController::delayed_messages() const {
+  uint64_t total = delayed_messages_;
+  for (const MessageLane& lane : message_lanes_) {
+    total += lane.delayed;
+  }
+  return total;
 }
 
 std::string ChaosController::FailureReport(size_t schedule_prefix) const {

@@ -11,6 +11,18 @@
 //
 // The controller also runs the InvariantChecker's instant checks every
 // `check_every_events` dispatched events and accumulates violations.
+//
+// Parallel mode (construct with a ShardedEngine that has shards > 1):
+//   * tick-level faults (crashes, churn, forced migrations) and the instant
+//     invariant sweeps move to the engine's coordinator rail, so they always
+//     observe a consistent cross-shard cut; the cadence of both is the tick
+//     period (`check_every_events` only gates whether sweeps run at all —
+//     event counts are per-shard and scheduling-dependent in parallel).
+//   * per-message fault draws come from counter-based per-shard streams
+//     (CounterRng keyed (seed, shard)) so decisions depend only on each
+//     shard's own message order — deterministic for a fixed shard count.
+// With shards == 1 the controller behaves byte-identically to the serial
+// constructor: same xoshiro draws, same hooks, same schedule.
 
 #ifndef SRC_TESTING_CHAOS_H_
 #define SRC_TESTING_CHAOS_H_
@@ -19,11 +31,13 @@
 #include <string>
 #include <vector>
 
+#include "src/common/counter_rng.h"
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
 #include "src/net/network.h"
 #include "src/runtime/cluster.h"
+#include "src/sim/sharded_engine.h"
 #include "src/testing/invariants.h"
 
 namespace actop {
@@ -71,6 +85,10 @@ struct ChaosEvent {
 class ChaosController {
  public:
   ChaosController(Simulation* sim, Cluster* cluster, ChaosConfig config);
+  // Engine-aware: serial engines (shards == 1) get exactly the serial
+  // behavior; parallel engines get rail-scheduled faults/checks and
+  // per-shard message streams.
+  ChaosController(ShardedEngine* engine, Cluster* cluster, ChaosConfig config);
   ~ChaosController();
 
   ChaosController(const ChaosController&) = delete;
@@ -96,8 +114,8 @@ class ChaosController {
   uint64_t crashes() const { return crashes_; }
   uint64_t shard_churns() const { return shard_churns_; }
   uint64_t forced_migrations() const { return forced_migrations_; }
-  uint64_t dropped_messages() const { return dropped_messages_; }
-  uint64_t delayed_messages() const { return delayed_messages_; }
+  uint64_t dropped_messages() const;
+  uint64_t delayed_messages() const;
 
   // Human-readable reproduction report: seed, violations, and the first
   // `schedule_prefix` scheduled faults.
@@ -105,22 +123,37 @@ class ChaosController {
 
  private:
   void Tick();
+  void RailCheck();
   void InjectDuplicationBug();
   void Record(std::string what);
   void RecordViolations(const std::vector<std::string>& found);
-  FaultDecision OnMessage(NodeId from, NodeId to, uint32_t bytes);
+  FaultDecision OnMessage(NodeId from, NodeId to, uint32_t bytes, int src_shard, SimTime now);
+  bool parallel() const { return engine_ != nullptr && engine_->parallel(); }
+
+  // Per-shard message-fault state; lanes for different shards are hit
+  // concurrently from Network::Send, hence the cacheline alignment.
+  struct alignas(64) MessageLane {
+    MessageLane(uint64_t seed, uint64_t shard) : rng(seed, shard) {}
+    CounterRng rng;
+    uint64_t dropped = 0;
+    uint64_t delayed = 0;
+  };
 
   Simulation* sim_;
+  ShardedEngine* engine_ = nullptr;
   Cluster* cluster_;
   ChaosConfig config_;
   // Independent streams: tick-level fault draws must not shift when the
   // per-message traffic pattern changes, and vice versa.
   Rng tick_rng_;
-  Rng message_rng_;
+  Rng message_rng_;                        // serial (and shards == 1) mode
+  std::vector<MessageLane> message_lanes_; // parallel mode
   InvariantChecker checker_;
 
   bool started_ = false;
   EventId tick_event_ = 0;
+  uint64_t tick_rail_ = 0;
+  uint64_t check_rail_ = 0;
   uint64_t events_seen_ = 0;
 
   std::vector<std::string> violations_;

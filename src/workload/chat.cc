@@ -24,13 +24,13 @@ class ChatUserActor : public Actor {
         }
         CallContext* call = &ctx;
         ctx.Call(room_, kBroadcast, config_->message_bytes, [call, this](const Response&) {
-          state_->messages_posted++;
+          state_->messages_posted.fetch_add(1, std::memory_order_relaxed);
           call->Reply(32);
         });
         return;
       }
       case kNotify: {
-        state_->notifications++;
+        state_->notifications.fetch_add(1, std::memory_order_relaxed);
         ctx.Reply(16);
         return;
       }

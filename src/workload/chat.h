@@ -8,6 +8,7 @@
 #ifndef SRC_WORKLOAD_CHAT_H_
 #define SRC_WORKLOAD_CHAT_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -47,9 +48,12 @@ struct ChatWorkloadConfig {
   uint64_t seed = 41;
 };
 
+// Actor-side counters. Atomic (relaxed): under the sharded engine these are
+// bumped concurrently from whichever shards host the user/room actors; the
+// totals are only read after the run drains, so relaxed is sufficient.
 struct ChatState {
-  uint64_t messages_posted = 0;
-  uint64_t notifications = 0;
+  std::atomic<uint64_t> messages_posted{0};
+  std::atomic<uint64_t> notifications{0};
 };
 
 class ChatWorkload {

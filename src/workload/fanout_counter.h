@@ -3,8 +3,11 @@
 // The fan-out pattern (game broadcast, chat join) issues N sub-calls whose
 // continuations share a remaining-count; the seed used make_shared<int> for
 // it, which costs one combined object+control-block heap allocation per
-// fan-out. MakeFanoutCounter routes that allocation through a process-wide
-// RecyclingBlockCache so steady-state fan-outs reuse the same blocks.
+// fan-out. MakeFanoutCounter routes that allocation through a per-thread
+// RecyclingBlockCache so steady-state fan-outs reuse the same blocks. The
+// allocator is stateless and resolves the cache at allocate/release time, so
+// a counter whose last reference drops on a different shard thread than the
+// one that created it frees into the releasing thread's cache — no race.
 
 #ifndef SRC_WORKLOAD_FANOUT_COUNTER_H_
 #define SRC_WORKLOAD_FANOUT_COUNTER_H_
@@ -15,9 +18,34 @@
 
 namespace actop {
 
+namespace internal {
+
+inline RecyclingBlockCache& FanoutCounterCache() {
+  thread_local RecyclingBlockCache cache;
+  return cache;
+}
+
+template <typename U>
+struct FanoutCounterAllocator {
+  using value_type = U;
+
+  FanoutCounterAllocator() = default;
+  template <typename V>
+  FanoutCounterAllocator(const FanoutCounterAllocator<V>&) {}  // NOLINT
+
+  U* allocate(size_t n) { return static_cast<U*>(FanoutCounterCache().Allocate(n * sizeof(U))); }
+  void deallocate(U* p, size_t n) { FanoutCounterCache().Release(p, n * sizeof(U)); }
+
+  template <typename V>
+  bool operator==(const FanoutCounterAllocator<V>&) const {
+    return true;
+  }
+};
+
+}  // namespace internal
+
 inline std::shared_ptr<int> MakeFanoutCounter(int initial) {
-  static RecyclingBlockCache cache;
-  return MakePooled<int>(cache, initial);
+  return std::allocate_shared<int>(internal::FanoutCounterAllocator<int>(), initial);
 }
 
 }  // namespace actop

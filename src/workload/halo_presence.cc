@@ -42,7 +42,7 @@ class PlayerActor : public Actor {
         return;
       }
       case kUpdate: {
-        state_->updates++;
+        state_->updates.fetch_add(1, std::memory_order_relaxed);
         ctx.Reply(32);
         return;
       }
@@ -80,7 +80,7 @@ class GameActor : public Actor {
           ctx.Call(member, kUpdate, config_->update_bytes,
                    [call, remaining, this](const Response&) {
                      if (--*remaining == 0) {
-                       state_->broadcasts++;
+                       state_->broadcasts.fetch_add(1, std::memory_order_relaxed);
                        call->Reply(config_->status_bytes);
                      }
                    });
@@ -89,9 +89,7 @@ class GameActor : public Actor {
       }
       case kStartGame: {
         const uint64_t game_key = ActorKeyOf(ctx.self());
-        auto roster_it = state_->rosters.find(game_key);
-        ACTOP_CHECK(roster_it != state_->rosters.end());
-        members_ = roster_it->second;
+        state_->ReadRoster(game_key, &members_);
         auto remaining = MakeFanoutCounter(static_cast<int>(members_.size()));
         CallContext* call = &ctx;
         for (const ActorId member : members_) {
@@ -112,17 +110,15 @@ class GameActor : public Actor {
         auto remaining = MakeFanoutCounter(static_cast<int>(members_.size()));
         members_.clear();
         const uint64_t game_key = ActorKeyOf(ctx.self());
-        auto roster_it = state_->rosters.find(game_key);
-        ACTOP_CHECK(roster_it != state_->rosters.end());
+        state_->TakeRoster(game_key, &roster_scratch_);
         CallContext* call = &ctx;
-        for (const ActorId member : roster_it->second) {
+        for (const ActorId member : roster_scratch_) {
           ctx.CallWithData(member, kSetGame, 0, 64, [call, remaining](const Response&) {
             if (--*remaining == 0) {
               call->Reply(16);
             }
           });
         }
-        state_->rosters.erase(roster_it);
         return;
       }
       default:
@@ -135,9 +131,26 @@ class GameActor : public Actor {
   std::shared_ptr<HaloState> state_;
   const HaloWorkloadConfig* config_;
   std::vector<ActorId> members_;
+  // EndGame fan-out target list, reused across games hosted by this actor.
+  std::vector<ActorId> roster_scratch_;
 };
 
 }  // namespace
+
+void HaloState::ReadRoster(uint64_t key, std::vector<ActorId>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rosters_.find(key);
+  ACTOP_CHECK(it != rosters_.end());
+  out->assign(it->second.begin(), it->second.end());
+}
+
+void HaloState::TakeRoster(uint64_t key, std::vector<ActorId>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rosters_.find(key);
+  ACTOP_CHECK(it != rosters_.end());
+  *out = std::move(it->second);
+  rosters_.erase(it);
+}
 
 HaloWorkload::HaloWorkload(Cluster* cluster, HaloWorkloadConfig config)
     : cluster_(cluster),
@@ -240,7 +253,7 @@ void HaloWorkload::TryFormGames() {
 void HaloWorkload::StartGame(const std::vector<ActorId>& members) {
   const uint64_t game_key = next_game_key_++;
   const ActorId game = MakeActorId(kGameActorType, game_key);
-  state_->rosters[game_key] = members;
+  state_->PutRoster(game_key, members);
   for (const ActorId member : members) {
     player_game_[member].in_game = true;
     in_game_index_[member] = in_game_players_.size();
@@ -269,9 +282,7 @@ void HaloWorkload::FinishGame(uint64_t game_key) {
   }
   // Copy the roster into reused scratch before issuing EndGame: the game
   // actor's EndGame turn (asynchronous, after this frame) erases the entry.
-  auto roster_it = state_->rosters.find(game_key);
-  ACTOP_CHECK(roster_it != state_->rosters.end());
-  finish_scratch_.assign(roster_it->second.begin(), roster_it->second.end());
+  state_->ReadRoster(game_key, &finish_scratch_);
   const ActorId game = MakeActorId(kGameActorType, game_key);
   driver_.Call(game, kEndGame, game_key, 128, nullptr);
   active_games_--;

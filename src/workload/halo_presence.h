@@ -22,7 +22,9 @@
 #ifndef SRC_WORKLOAD_HALO_PRESENCE_H_
 #define SRC_WORKLOAD_HALO_PRESENCE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -76,13 +78,31 @@ struct HaloWorkloadConfig {
 };
 
 // Shared state between the driver and the actors (matchmaking table).
+//
+// Under the sharded engine the driver (shard 0) inserts rosters while game
+// actors on other shards read and erase them, so the roster table is only
+// reachable through the mutex-guarded helpers; the counters are relaxed
+// atomics (bumped from actor turns on any shard, read only after a drain).
+// Serial runs take the same code path — the mutex is uncontended.
 struct HaloState {
-  // Roster per game id (set by the driver before StartGame). Node-pooled:
-  // games start and end continuously, so the roster entries churn in steady
-  // state.
-  PooledNodeMap<uint64_t, std::vector<ActorId>> rosters;
-  uint64_t broadcasts = 0;   // completed game broadcasts (test oracle)
-  uint64_t updates = 0;      // player Update turns executed
+  // Installs the roster for `key` (driver, before StartGame).
+  void PutRoster(uint64_t key, const std::vector<ActorId>& members) {
+    std::lock_guard<std::mutex> lock(mu_);
+    rosters_[key] = members;
+  }
+  // Copies the roster for `key` into `out`; the entry must exist.
+  void ReadRoster(uint64_t key, std::vector<ActorId>* out) const;
+  // Copies the roster for `key` into `out` and erases the entry.
+  void TakeRoster(uint64_t key, std::vector<ActorId>* out);
+
+  std::atomic<uint64_t> broadcasts{0};  // completed game broadcasts (test oracle)
+  std::atomic<uint64_t> updates{0};     // player Update turns executed
+
+ private:
+  mutable std::mutex mu_;
+  // Roster per game id. Node-pooled: games start and end continuously, so
+  // the roster entries churn in steady state.
+  PooledNodeMap<uint64_t, std::vector<ActorId>> rosters_;
 };
 
 class HaloWorkload {

@@ -19,7 +19,7 @@ class SocialUserActor : public Actor {
   void OnCall(CallContext& ctx) override {
     switch (ctx.method()) {
       case kPost: {
-        state_->posts++;
+        state_->posts.fetch_add(1, std::memory_order_relaxed);
         // Write fan-out: one-way deliveries to every follower's timeline.
         for (const ActorId follower : followers_) {
           ctx.CallOneWay(follower, kDeliver, config_->post_bytes);
@@ -29,13 +29,13 @@ class SocialUserActor : public Actor {
         return;
       }
       case kDeliver: {
-        state_->deliveries++;
+        state_->deliveries.fetch_add(1, std::memory_order_relaxed);
         timeline_length_++;
         ctx.Reply(16);
         return;
       }
       case kReadTimeline: {
-        state_->reads++;
+        state_->reads.fetch_add(1, std::memory_order_relaxed);
         // Response size grows with (capped) timeline length.
         ctx.Reply(128 + 16 * static_cast<uint32_t>(std::min<int64_t>(timeline_length_, 50)));
         return;

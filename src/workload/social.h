@@ -14,6 +14,7 @@
 #ifndef SRC_WORKLOAD_SOCIAL_H_
 #define SRC_WORKLOAD_SOCIAL_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -58,10 +59,13 @@ struct SocialWorkloadConfig {
   uint64_t seed = 77;
 };
 
+// Actor-side counters. Atomic (relaxed): under the sharded engine these are
+// bumped concurrently from whichever shards host the user actors; the totals
+// are only read after the run drains, so relaxed is sufficient.
 struct SocialState {
-  uint64_t posts = 0;
-  uint64_t deliveries = 0;  // timeline writes at followers
-  uint64_t reads = 0;
+  std::atomic<uint64_t> posts{0};
+  std::atomic<uint64_t> deliveries{0};  // timeline writes at followers
+  std::atomic<uint64_t> reads{0};
 };
 
 class SocialWorkload {

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -99,12 +100,15 @@ int SumRelayFailedSubcalls(Cluster& cluster) {
 }
 
 // Builds and runs one full chaos scenario for `seed`. See the file comment
-// for the scenario shapes.
-ChaosRunResult RunChaosScenario(uint64_t seed) {
+// for the scenario shapes. `shards` selects the construction: 0 is the
+// historical serial path (plain Simulation + serial Cluster constructor),
+// 1 is the sharded engine collapsed to one shard (must behave byte-
+// identically to 0), and > 1 runs the cluster partitioned across shards
+// under conservative time-window synchronization.
+ChaosRunResult RunChaosScenario(uint64_t seed, int shards = 0) {
   const int scenario = static_cast<int>(seed % 4);
   const bool partitioning = scenario == 2 || scenario == 3;
 
-  Simulation sim;
   ClusterConfig cfg{.num_servers = kServers, .seed = SplitMix64(seed)};
   cfg.server.call_timeout = Seconds(3);
   if (partitioning) {
@@ -114,7 +118,30 @@ ChaosRunResult RunChaosScenario(uint64_t seed) {
     cfg.partition.pairwise.candidate_set_size = 16;
     cfg.partition.pairwise.balance_delta = 16;
   }
-  Cluster cluster(&sim, cfg);
+
+  std::unique_ptr<Simulation> serial_sim;
+  std::unique_ptr<ShardedEngine> engine;
+  std::unique_ptr<Cluster> cluster_ptr;
+  if (shards == 0) {
+    serial_sim = std::make_unique<Simulation>();
+    cluster_ptr = std::make_unique<Cluster>(serial_sim.get(), cfg);
+  } else {
+    ShardedEngineConfig ec;
+    ec.shards = shards;
+    ec.lookahead = cfg.network.one_way_latency;
+    engine = std::make_unique<ShardedEngine>(ec);
+    cluster_ptr = std::make_unique<Cluster>(engine.get(), cfg);
+  }
+  Cluster& cluster = *cluster_ptr;
+  Simulation& sim = engine != nullptr ? engine->sim() : *serial_sim;
+  const bool parallel = engine != nullptr && engine->parallel();
+  auto run_until = [&](SimTime t) {
+    if (engine != nullptr) {
+      engine->RunUntil(t);
+    } else {
+      sim.RunUntil(t);
+    }
+  };
   RegisterTestActors(&cluster);
 
   ChaosConfig chaos_cfg;
@@ -143,7 +170,13 @@ ChaosRunResult RunChaosScenario(uint64_t seed) {
       chaos_cfg.delay_prob = 0.15;
       break;
   }
-  ChaosController chaos(&sim, &cluster, chaos_cfg);
+  std::unique_ptr<ChaosController> chaos_ptr;
+  if (engine != nullptr) {
+    chaos_ptr = std::make_unique<ChaosController>(engine.get(), &cluster, chaos_cfg);
+  } else {
+    chaos_ptr = std::make_unique<ChaosController>(&sim, &cluster, chaos_cfg);
+  }
+  ChaosController& chaos = *chaos_ptr;
 
   ChaosClientConfig client_cfg;
   client_cfg.seed = SplitMix64(seed ^ 0xc11e47ULL);
@@ -180,22 +213,36 @@ ChaosRunResult RunChaosScenario(uint64_t seed) {
   // activations (deactivated at the source, not yet re-activated).
   int64_t initial_spread = 0;
   if (scenario == 3) {
-    sim.ScheduleAt(kFaultsStart, [&] { initial_spread = ActivationSpread(cluster); });
-    sim.SchedulePeriodic(Millis(100), [&] {
-      if (sim.now() > kTrafficEnd) {
-        return;
-      }
+    auto snapshot_spread = [&] { initial_spread = ActivationSpread(cluster); };
+    auto balance_check = [&] {
       const int64_t delta = cfg.partition.pairwise.balance_delta;
       const int64_t slack = std::max<int64_t>(initial_spread, 2 * delta);
       for (std::string& v : chaos.checker().CheckBalance(delta, slack)) {
         result.balance.push_back(std::move(v));
       }
-    });
+    };
+    if (parallel) {
+      // Balance checks read every server's activation count — a cross-shard
+      // cut, so in parallel mode they run on the coordinator rail at the
+      // same cadence the serial periodic uses.
+      engine->ScheduleRailAt(kFaultsStart, snapshot_spread);
+      for (SimTime at = Millis(100); at <= kTrafficEnd; at += Millis(100)) {
+        engine->ScheduleRailAt(at, balance_check);
+      }
+    } else {
+      sim.ScheduleAt(kFaultsStart, snapshot_spread);
+      sim.SchedulePeriodic(Millis(100), [&, balance_check] {
+        if (sim.now() > kTrafficEnd) {
+          return;
+        }
+        balance_check();
+      });
+    }
   }
 
   chaos.Start();
   cluster.StartOptimizers();
-  sim.RunUntil(kTrafficEnd);
+  run_until(kTrafficEnd);
   // Quiescent checks need migrations to stop: halt the exchange protocol
   // before draining.
   for (int s = 0; s < kServers; s++) {
@@ -203,7 +250,7 @@ ChaosRunResult RunChaosScenario(uint64_t seed) {
       cluster.partition_agent(s)->Stop();
     }
   }
-  sim.RunUntil(kDrainEnd);
+  run_until(kDrainEnd);
 
   result.instant_violations = chaos.total_violations();
   result.checks_run = chaos.checker().checks_run();
@@ -285,6 +332,51 @@ TEST(ChaosDeterminismTest, SameSeedSameRun) {
     EXPECT_EQ(a.echo_calls, b.echo_calls);
   }
 }
+
+// The sharded engine collapsed to one shard must reproduce the serial
+// construction byte-for-byte: same fault schedule, same report text, same
+// client counters (the --shards=1 bit-compatibility contract).
+TEST(ChaosDeterminismTest, EngineWithOneShardMatchesSerial) {
+  // One seed per scenario shape (seed % 4).
+  for (uint64_t seed : {4ull, 5ull, 42ull, 7ull}) {
+    const ChaosRunResult serial = RunChaosScenario(seed, /*shards=*/0);
+    const ChaosRunResult sharded = RunChaosScenario(seed, /*shards=*/1);
+    EXPECT_EQ(serial.report, sharded.report) << "seed " << seed;
+    EXPECT_EQ(serial.issued, sharded.issued);
+    EXPECT_EQ(serial.succeeded, sharded.succeeded);
+    EXPECT_EQ(serial.timed_out, sharded.timed_out);
+    EXPECT_EQ(serial.echo_calls, sharded.echo_calls);
+    EXPECT_EQ(serial.faults_injected, sharded.faults_injected);
+    EXPECT_EQ(serial.checks_run, sharded.checks_run);
+  }
+}
+
+// Parallel mode is deterministic for a fixed shard count: same seed, same
+// shard count => same counters and same fault schedule.
+TEST(ChaosDeterminismTest, ParallelSameSeedSameRun) {
+  for (uint64_t seed : {5ull, 6ull}) {
+    const ChaosRunResult a = RunChaosScenario(seed, /*shards=*/4);
+    const ChaosRunResult b = RunChaosScenario(seed, /*shards=*/4);
+    EXPECT_EQ(a.report, b.report) << "seed " << seed;
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.succeeded, b.succeeded);
+    EXPECT_EQ(a.timed_out, b.timed_out);
+    EXPECT_EQ(a.echo_calls, b.echo_calls);
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+  }
+}
+
+// The 100-seed sweep again, with the cluster partitioned across 4 shards and
+// the invariant checkers live on the coordinator rail: the conservative-
+// window parallel core must hold every invariant under the same fault
+// schedules the serial engine survives.
+class ChaosParallelSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosParallelSeedTest, InvariantsHoldUnderFaultsAtFourShards) {
+  ExpectInvariantsHold(RunChaosScenario(GetParam(), /*shards=*/4));
+}
+
+INSTANTIATE_TEST_SUITE_P(ParallelSweep, ChaosParallelSeedTest, ::testing::Range<uint64_t>(1, 101));
 
 // Guarded bug-injection demo: force a duplicate activation mid-run and prove
 // the harness (1) catches it and (2) prints the seed needed to replay it.

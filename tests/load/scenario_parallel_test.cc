@@ -1,0 +1,185 @@
+// Parallel-mode acceptance: statistical equivalence to the serial engine and
+// fixed-shard-count determinism.
+//
+// The conservative-window parallel core is NOT byte-identical to serial for
+// shards > 1 (same-instant events on different shards interleave
+// differently), so its contract is statistical: the same workload must
+// produce the same throughput and the same latency *distribution*. The
+// equivalence test runs a fig10b-shaped Halo Presence experiment (both ActOp
+// optimizations on, the bench_cluster shape scaled for tier-1) serial and at
+// four shards, and compares the client-latency distributions with a
+// two-sample Kolmogorov-Smirnov bound set at > 5 sigma — the
+// arrival_stat_test discipline: a failure means the parallel engine changed
+// the system's behaviour, not that the dice were unlucky.
+//
+// Determinism within a fixed shard count is byte-level: the scenario JSON
+// report — every percentile, every counter — must be identical across runs
+// at --threads=4, exactly as the serial determinism suite pins for
+// --threads=1.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/common/histogram.h"
+#include "src/common/sim_time.h"
+#include "src/load/report.h"
+#include "src/load/scenarios.h"
+#include "src/runtime/cluster.h"
+#include "src/sim/sharded_engine.h"
+#include "src/workload/halo_presence.h"
+
+namespace actop {
+namespace {
+
+struct HaloStats {
+  Histogram latency;
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t timeouts = 0;
+};
+
+// A tier-1-sized fig10b shape: both optimizations on, the bench_cluster
+// parameter family, 10 simulated seconds of measurement after warm-up.
+HaloStats RunFig10bShaped(int shards) {
+  ClusterConfig cfg;
+  cfg.num_servers = 8;
+  cfg.seed = 42;
+  cfg.enable_partitioning = true;
+  cfg.partition.exchange_period = Seconds(1);
+  cfg.partition.exchange_min_gap = Seconds(1);
+  cfg.partition.max_peers_per_round = 4;
+  cfg.partition.pairwise.candidate_set_size = 256;
+  cfg.partition.pairwise.balance_delta = 200;
+  cfg.partition.edge_sample_capacity = 16384;
+  cfg.partition.edge_decay_period = Seconds(10);
+  cfg.enable_thread_optimization = true;
+  cfg.thread_controller.period = Seconds(1);
+  cfg.thread_controller.eta = 100e-6;
+
+  ShardedEngineConfig ec;
+  ec.shards = shards;
+  ec.lookahead = cfg.network.one_way_latency;
+  ShardedEngine engine(ec);
+  Cluster cluster(&engine, cfg);
+
+  HaloWorkloadConfig w;
+  w.target_players = 1500;
+  w.idle_pool_target = 15;
+  w.request_rate = 900.0;
+  w.seed = 42 ^ 0x517cc1b7;
+  w.request_bytes = 800;
+  w.status_bytes = 1600;
+  w.update_bytes = 1200;
+  HaloWorkload halo(&cluster, w);
+  halo.Start();
+  cluster.StartOptimizers();
+
+  engine.RunUntil(Seconds(5));
+  halo.clients().ResetStats();
+  engine.RunUntil(Seconds(15));
+
+  HaloStats out;
+  out.latency = halo.clients().latency();
+  out.issued = halo.clients().issued();
+  out.completed = halo.clients().completed();
+  out.timeouts = halo.clients().timeouts();
+  return out;
+}
+
+// Two-sample KS distance, probed at both histograms' quantile grid (the
+// histograms share bucket boundaries, so CdfAt comparisons are exact at
+// bucket resolution).
+double TwoSampleKs(const Histogram& a, const Histogram& b) {
+  double d = 0.0;
+  for (int i = 1; i < 1000; i++) {
+    const double q = static_cast<double>(i) / 1000.0;
+    for (const Histogram* h : {&a, &b}) {
+      const int64_t v = h->ValueAtQuantile(q);
+      d = std::max(d, std::abs(a.CdfAt(v) - b.CdfAt(v)));
+    }
+  }
+  return d;
+}
+
+TEST(ScenarioParallelTest, FourShardFig10bIsStatisticallyEquivalentToSerial) {
+  const HaloStats serial = RunFig10bShaped(/*shards=*/1);
+  const HaloStats parallel = RunFig10bShaped(/*shards=*/4);
+
+  // Throughput: the open-loop arrival schedule is engine-independent, so the
+  // completed-call counts must agree to within a sliver (calls in flight at
+  // the measurement edges).
+  ASSERT_GT(serial.completed, 5000u);
+  EXPECT_EQ(serial.timeouts, 0u);
+  EXPECT_EQ(parallel.timeouts, 0u);
+  const double completed_ratio =
+      static_cast<double>(parallel.completed) / static_cast<double>(serial.completed);
+  EXPECT_GT(completed_ratio, 0.99);
+  EXPECT_LT(completed_ratio, 1.01);
+
+  // Latency distribution: two-sample KS below the 5-sigma band for these
+  // sample sizes (c(5 sigma) ~ 2.75), with 1.5x slack for the histogram's
+  // bucket resolution. A real behavioural divergence (double execution,
+  // missed lookahead, skewed queueing) lands far above this.
+  const double n = static_cast<double>(serial.latency.count());
+  const double m = static_cast<double>(parallel.latency.count());
+  ASSERT_GT(n, 0.0);
+  ASSERT_GT(m, 0.0);
+  const double bound = 1.5 * 2.75 * std::sqrt((n + m) / (n * m));
+  const double ks = TwoSampleKs(serial.latency, parallel.latency);
+  EXPECT_LT(ks, bound) << "serial p50/p99 " << serial.latency.p50() << "/"
+                       << serial.latency.p99() << " vs parallel " << parallel.latency.p50()
+                       << "/" << parallel.latency.p99();
+
+  // Median sanity on top of the KS shape check.
+  const double p50_ratio = static_cast<double>(parallel.latency.p50()) /
+                           static_cast<double>(std::max<int64_t>(serial.latency.p50(), 1));
+  EXPECT_GT(p50_ratio, 0.8);
+  EXPECT_LT(p50_ratio, 1.25);
+}
+
+std::string RunScenarioOnce(const ScenarioDef& def, uint64_t seed, bool chaos, int threads) {
+  ScenarioOptions options;
+  options.scale = 0.02;
+  options.seed = seed;
+  options.chaos = chaos;
+  options.threads = threads;
+  return ScenarioReportToJson(def.run(options));
+}
+
+TEST(ScenarioParallelTest, ReportsAreByteIdenticalAcrossRunsAtFourThreads) {
+  for (const char* name : {"halo_launch", "diurnal_chat"}) {
+    SCOPED_TRACE(name);
+    const ScenarioDef* def = FindScenario(name);
+    ASSERT_NE(def, nullptr);
+    const std::string first = RunScenarioOnce(*def, /*seed=*/7, /*chaos=*/false, /*threads=*/4);
+    const std::string second = RunScenarioOnce(*def, /*seed=*/7, /*chaos=*/false, /*threads=*/4);
+    EXPECT_EQ(first, second);
+    EXPECT_NE(first.find("\"schema\": \"actop-scenario-report-v1\""), std::string::npos);
+  }
+}
+
+TEST(ScenarioParallelTest, ChaosReportsAreDeterministicAtFourThreads) {
+  const ScenarioDef* def = FindScenario("reconnect_storm");
+  ASSERT_NE(def, nullptr);
+  const std::string first = RunScenarioOnce(*def, /*seed=*/11, /*chaos=*/true, /*threads=*/4);
+  const std::string second = RunScenarioOnce(*def, /*seed=*/11, /*chaos=*/true, /*threads=*/4);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ScenarioParallelTest, SerialReportIsIndependentOfThreadsFlagAtOne) {
+  // --threads=1 must be the serial engine exactly: same bytes as the default.
+  const ScenarioDef* def = FindScenario("diurnal_chat");
+  ASSERT_NE(def, nullptr);
+  const std::string implicit = RunScenarioOnce(*def, /*seed=*/7, /*chaos=*/false, /*threads=*/1);
+  ScenarioOptions options;
+  options.scale = 0.02;
+  options.seed = 7;
+  const std::string defaulted = ScenarioReportToJson(def->run(options));
+  EXPECT_EQ(implicit, defaulted);
+}
+
+}  // namespace
+}  // namespace actop
