@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
 # Perf-regression gate for the engine/messaging, partitioning,
-# cluster/CPU-scheduler and parallel-core hot paths.
+# repartitioning-arena, cluster/CPU-scheduler and parallel-core hot paths.
 #
-# Builds bench_engine, bench_partition, bench_cluster and bench_parallel in
-# Release mode, runs all four, writes BENCH_<name>.json at the repo root,
-# and — when a checked-in baseline exists — fails (exit 1) if any scenario's
-# events/sec regressed more than THRESHOLD (default 10%) against the
-# corresponding file in bench/baselines/. bench_partition and bench_cluster
-# additionally self-gate their in-binary geomean speedups vs the retained
-# seed implementations (1.5x floors), bench_cluster fails if an optimized
-# CPU scenario allocates in steady state, and bench_parallel self-gates the
-# 3x-at-8-shards scaling floor on hosts with >= 8 hardware threads.
+# Builds bench_engine, bench_partition, bench_arena, bench_cluster and
+# bench_parallel in Release mode, runs all five, writes BENCH_<name>.json at
+# the repo root, and — when a checked-in baseline exists — fails (exit 1) if
+# any scenario's events/sec regressed more than THRESHOLD (default 10%)
+# against the corresponding file in bench/baselines/. bench_partition and
+# bench_cluster additionally self-gate their in-binary geomean speedups vs
+# the retained seed implementations (1.5x floors), bench_arena self-gates
+# its 5x geomean vs the map-based testbed plus zero steady-state
+# allocations, bench_cluster fails if an optimized CPU scenario allocates in
+# steady state, and bench_parallel self-gates the 3x-at-8-shards scaling
+# floor on hosts with >= 8 hardware threads.
+#
+# On a failed gate the script emits one structured line per regressed
+# scenario to stderr:
+#   perf_gate: FAIL bench=<name> scenario=<scenario> metric=events_per_sec \
+#     measured=<value> floor=<baseline * (1 - THRESHOLD)>
+# Self-gate failures (geomean / allocation floors) are reported by the bench
+# binaries themselves on stderr with the measured value and the floor.
 #
 # Baselines that record a "threads" header (the scaling bench does) are only
 # comparable between hosts with the same hardware parallelism; the gate
@@ -37,6 +46,14 @@
 #   ctest --preset perf        (or: ctest -C perf -L perf from a build dir)
 # Tier-1 `ctest` never runs them: wall-clock throughput is machine-dependent,
 # so the gate is opt-in for perf work and CI perf jobs only.
+#
+# Hooks for driving the gate logic itself under test
+# (scripts/test_perf_gate.sh):
+#   PERF_GATE_BENCHES="arena"     run only the named benches
+#   PERF_GATE_NO_BUILD=1          skip the cmake configure/build step
+#   OUT_DIR=/tmp/x                where BENCH_<name>.json is written (default .)
+#   BASELINE_DIR=/tmp/y           where baselines are read from
+#                                 (default bench/baselines)
 
 set -euo pipefail
 
@@ -45,22 +62,66 @@ cd "$(dirname "$0")/.."
 THRESHOLD="${THRESHOLD:-0.10}"
 SCALE="${SCALE:-1.0}"
 BUILD_DIR="${BUILD_DIR:-build-release}"
+OUT_DIR="${OUT_DIR:-.}"
+BASELINE_DIR="${BASELINE_DIR:-bench/baselines}"
+PERF_GATE_BENCHES="${PERF_GATE_BENCHES:-engine partition arena cluster parallel}"
 # Wall-clock throughput on shared builders dips 20-30% under transient host
 # load. A real regression reproduces on every attempt; a noise dip does not,
 # so retry a failing bench up to ATTEMPTS times before declaring a regression.
 ATTEMPTS="${ATTEMPTS:-3}"
 
-cmake --preset release >/dev/null
-cmake --build "${BUILD_DIR}" --target bench_engine --target bench_partition \
-      --target bench_cluster --target bench_parallel -j >/dev/null
+if [[ "${PERF_GATE_NO_BUILD:-0}" != "1" ]]; then
+  cmake --preset release >/dev/null
+  targets=()
+  for bench in ${PERF_GATE_BENCHES}; do
+    targets+=(--target "bench_${bench}")
+  done
+  cmake --build "${BUILD_DIR}" "${targets[@]}" -j >/dev/null
+fi
 
 status=0
+
+# One structured line per scenario whose events/sec fell below the baseline
+# floor, so CI logs carry the regressed scenario, the measured value, and
+# the floor without anyone re-running the bench by hand.
+report_failures() {
+  local bench="$1" out="$2" baseline="$3"
+  [[ -f "${out}" && -f "${baseline}" ]] || return 0
+  awk -v bench="${bench}" -v thr="${THRESHOLD}" '
+    function num(line, key,    s) {
+      s = line
+      if (!sub(".*\"" key "\": *", "", s)) return ""
+      sub("[,}].*", "", s)
+      return s + 0
+    }
+    function scen(line,    s) {
+      s = line
+      sub(".*\"name\": *\"", "", s)
+      sub("\".*", "", s)
+      return s
+    }
+    FNR == NR {
+      if ($0 ~ /"name":/) base[scen($0)] = num($0, "events_per_sec")
+      next
+    }
+    $0 ~ /"name":/ {
+      n = scen($0)
+      if (n in base && base[n] > 0) {
+        floor = base[n] * (1 - thr)
+        measured = num($0, "events_per_sec")
+        if (measured < floor)
+          printf "perf_gate: FAIL bench=%s scenario=%s metric=events_per_sec measured=%.0f floor=%.0f\n", \
+                 bench, n, measured, floor
+      }
+    }
+  ' "${baseline}" "${out}" >&2
+}
 run_gate() {
   local bench="$1"
   # Per-bench pinned attempt count; defaults to the global ATTEMPTS.
   local attempts="${2:-${ATTEMPTS}}"
-  local baseline="bench/baselines/BENCH_${bench}.baseline.json"
-  local out="BENCH_${bench}.json"
+  local baseline="${BASELINE_DIR}/BENCH_${bench}.baseline.json"
+  local out="${OUT_DIR}/BENCH_${bench}.json"
   local binary="${BUILD_DIR}/bench/bench_${bench}"
   # Fail loudly instead of "passing" vacuously: a missing binary means the
   # build above silently skipped the target, and a missing baseline means
@@ -127,12 +188,18 @@ run_gate() {
     fi
   done
   echo "perf_gate: bench_${bench} gate failed on all ${attempts} attempts" >&2
+  if [[ -f "${baseline}" ]]; then
+    report_failures "${bench}" "${out}" "${baseline}"
+  fi
   status=1
   echo "perf_gate: wrote ${out}"
 }
 
-run_gate engine
-run_gate partition
-run_gate cluster
-run_gate parallel 2
+for bench in ${PERF_GATE_BENCHES}; do
+  case "${bench}" in
+    # The parallel scaling bench is pinned to 2 attempts (see header).
+    parallel) run_gate parallel 2 ;;
+    *) run_gate "${bench}" ;;
+  esac
+done
 exit "${status}"

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Negative/positive test for the perf-gate driver (scripts/perf_gate.sh):
+# a tier-1 ctest entry, so it must run in milliseconds with no real bench.
+#
+# It drives the gate against a stub bench binary via the PERF_GATE_* hooks:
+#   1. regression case — the stub writes canned JSON whose events/sec is far
+#      below the canned baseline and exits 1 (as a gating bench does). The
+#      gate must exit 1 AND emit the structured failure line
+#      "perf_gate: FAIL bench=... scenario=... measured=... floor=...".
+#   2. healthy case — the stub writes JSON matching the baseline and exits
+#      0. The gate must exit 0 and emit no FAIL line.
+#   3. missing-baseline case — without ALLOW_MISSING_BASELINE the gate must
+#      refuse to run the bench (exit 1).
+# When shellcheck is available both scripts must also lint clean.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "${tmp}"' EXIT
+
+mkdir -p "${tmp}/build/bench" "${tmp}/baselines" "${tmp}/out"
+
+cat > "${tmp}/baselines/BENCH_stub.baseline.json" <<'EOF'
+{
+  "bench": "stub",
+  "scenarios": [
+    {"name": "fast_path", "events": 100, "events_per_sec": 1000000, "ns_per_event": 1000.00},
+    {"name": "slow_path", "events": 100, "events_per_sec": 500000, "ns_per_event": 2000.00}
+  ]
+}
+EOF
+
+# The stub honors the gate's calling convention (--json=FILE plus ignored
+# flags), writes whatever JSON $STUB_JSON points at, and exits $STUB_EXIT.
+cat > "${tmp}/build/bench/bench_stub" <<'EOF'
+#!/usr/bin/env bash
+out=""
+for arg in "$@"; do
+  case "${arg}" in
+    --json=*) out="${arg#--json=}" ;;
+  esac
+done
+[[ -n "${out}" ]] && cp "${STUB_JSON}" "${out}"
+exit "${STUB_EXIT}"
+EOF
+chmod +x "${tmp}/build/bench/bench_stub"
+
+run_gate_with_stub() {
+  local json="$1" stub_exit="$2"
+  STUB_JSON="${json}" STUB_EXIT="${stub_exit}" \
+  PERF_GATE_BENCHES="stub" PERF_GATE_NO_BUILD=1 ATTEMPTS=1 \
+  BUILD_DIR="${tmp}/build" OUT_DIR="${tmp}/out" BASELINE_DIR="${tmp}/baselines" \
+    scripts/perf_gate.sh 2> "${tmp}/stderr.txt"
+}
+
+fail() {
+  echo "test_perf_gate: FAIL: $*" >&2
+  echo "--- gate stderr ---" >&2
+  cat "${tmp}/stderr.txt" >&2 || true
+  exit 1
+}
+
+# Case 1: regressed scenario, gating bench exits 1 -> gate fails with a
+# structured line naming the scenario, the measured value, and the floor.
+cat > "${tmp}/regressed.json" <<'EOF'
+{
+  "bench": "stub",
+  "scenarios": [
+    {"name": "fast_path", "events": 100, "events_per_sec": 400000, "ns_per_event": 2500.00},
+    {"name": "slow_path", "events": 100, "events_per_sec": 490000, "ns_per_event": 2040.00}
+  ]
+}
+EOF
+if run_gate_with_stub "${tmp}/regressed.json" 1; then
+  fail "gate exited 0 on a regressed bench"
+fi
+grep -q 'perf_gate: FAIL bench=stub scenario=fast_path metric=events_per_sec measured=400000 floor=900000' \
+  "${tmp}/stderr.txt" || fail "missing structured failure line for fast_path"
+if grep -q 'scenario=slow_path' "${tmp}/stderr.txt"; then
+  fail "slow_path (within threshold) reported as regressed"
+fi
+
+# Case 2: healthy numbers, bench exits 0 -> gate passes, no FAIL lines.
+if ! run_gate_with_stub "${tmp}/baselines/BENCH_stub.baseline.json" 0; then
+  fail "gate exited non-zero on a healthy bench"
+fi
+if grep -q 'perf_gate: FAIL' "${tmp}/stderr.txt"; then
+  fail "healthy run emitted a FAIL line"
+fi
+
+# Case 3: a missing baseline must be refused, not silently recorded.
+rm "${tmp}/baselines/BENCH_stub.baseline.json"
+if run_gate_with_stub "${tmp}/regressed.json" 0; then
+  fail "gate exited 0 with no baseline and no ALLOW_MISSING_BASELINE"
+fi
+grep -q 'no baseline' "${tmp}/stderr.txt" || fail "missing-baseline error not reported"
+
+if command -v shellcheck >/dev/null 2>&1; then
+  shellcheck scripts/perf_gate.sh scripts/test_perf_gate.sh
+else
+  echo "test_perf_gate: shellcheck not installed; lint skipped" >&2
+fi
+
+echo "test_perf_gate: OK"

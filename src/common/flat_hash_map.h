@@ -124,8 +124,15 @@ class FlatHashMap {
     return true;
   }
 
+  // Empties the map but keeps the slot array (like unordered_map::clear
+  // keeping its buckets): a cleared-and-refilled map of similar cardinality
+  // never rehashes, so Clear/refill cycles are allocation-free in steady
+  // state — the arena's per-round exchange heaps depend on that.
   void Clear() {
-    slots_.clear();
+    for (Slot& s : slots_) {
+      s.full = false;
+      s.value = Value();
+    }
     size_ = 0;
   }
 

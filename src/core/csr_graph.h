@@ -1,0 +1,77 @@
+// Flat CSR (compressed sparse row) snapshot of a WeightedGraph.
+//
+// The map-based WeightedGraph pays a hash node per vertex and a pooled node
+// per edge; at a million vertices that is gigabytes of pointer-chased slabs
+// and every planning pass walks them in hash order. This freezes the graph
+// into four arrays — sorted vertex ids, an offsets array, and neighbor/
+// weight slabs — so a full planning sweep is one linear scan and a vertex's
+// adjacency is a contiguous span.
+//
+// Layout invariants the arena's byte-identity proof leans on:
+//   * ids are ascending, so "dense index order" == "ascending vertex id
+//     order" — the canonical visit order the ordered planning entry points
+//     (BuildPeerPlansOrdered) pin.
+//   * each adjacency span is sorted by neighbor index (equivalently id), so
+//     per-vertex weight sums accumulate in a canonical order independent of
+//     any hash map's bucket layout.
+//
+// The structure is immutable: repartitioners move vertices, they never edit
+// edges mid-run. Rebuild from the mutable WeightedGraph when the graph
+// changes.
+
+#ifndef SRC_CORE_CSR_GRAPH_H_
+#define SRC_CORE_CSR_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/flat_hash_map.h"
+#include "src/common/ids.h"
+
+namespace actop {
+
+class WeightedGraph;
+
+class CsrGraph {
+ public:
+  static constexpr int32_t kNoIndex = -1;
+
+  // Freezes `g` (including isolated vertices, which still occupy balance
+  // slots during partitioning).
+  static CsrGraph FromWeighted(const WeightedGraph& g);
+
+  int32_t num_vertices() const { return static_cast<int32_t>(ids_.size()); }
+  // Directed edge slots (2x the undirected edge count).
+  size_t num_edge_slots() const { return nbr_.size(); }
+
+  VertexId IdOf(int32_t idx) const { return ids_[static_cast<size_t>(idx)]; }
+  // Dense index of `v`, or kNoIndex if the vertex is not in the graph.
+  int32_t IndexOf(VertexId v) const {
+    const int32_t* found = index_.Find(v);
+    return found == nullptr ? kNoIndex : *found;
+  }
+
+  size_t DegreeOf(int32_t idx) const {
+    return offsets_[static_cast<size_t>(idx) + 1] - offsets_[static_cast<size_t>(idx)];
+  }
+
+  // Adjacency span of vertex `idx`: neighbor dense indices and weights,
+  // parallel arrays sorted by neighbor index.
+  size_t EdgeBegin(int32_t idx) const { return offsets_[static_cast<size_t>(idx)]; }
+  size_t EdgeEnd(int32_t idx) const { return offsets_[static_cast<size_t>(idx) + 1]; }
+  int32_t EdgeNeighbor(size_t e) const { return nbr_[e]; }
+  double EdgeWeight(size_t e) const { return weight_[e]; }
+
+ private:
+  std::vector<VertexId> ids_;      // ascending
+  FlatHashMap<VertexId, int32_t> index_;
+  std::vector<size_t> offsets_;    // n + 1 entries
+  std::vector<int32_t> nbr_;       // neighbor dense index per edge slot
+  std::vector<double> weight_;     // weight per edge slot
+};
+
+}  // namespace actop
+
+#endif  // SRC_CORE_CSR_GRAPH_H_

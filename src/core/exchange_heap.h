@@ -44,20 +44,37 @@ class ExchangeHeap {
     slots_.reserve(cands.size());
     heap_.reserve(cands.size());
     for (const Candidate& c : cands) {
-      const double s = score_fn(c);
-      if (const int32_t* found = index_.Find(c.vertex)) {
-        // Duplicate offer: last candidate wins wholesale (seed overwrote
-        // both current[v] and candidates[v]).
-        slots_[*found].candidate = &c;
-        Rekey(*found, s);
-        continue;
-      }
-      const auto slot = static_cast<int32_t>(slots_.size());
-      slots_.push_back(Slot{c.vertex, s, &c, static_cast<int32_t>(heap_.size())});
-      heap_.push_back(slot);
-      index_.Insert(c.vertex, slot);
-      SiftUp(slots_[slot].heap_pos);
+      Add(c, score_fn(c));
     }
+  }
+
+  // Init over candidate pointers — the arena data plane keeps its candidates
+  // in recycled pools and offers (possibly filtered) pointer lists. Same
+  // semantics as Init, including last-wins on duplicate vertices.
+  template <typename ScoreFn>
+  void InitPtrs(const std::vector<const Candidate*>& cands, ScoreFn&& score_fn) {
+    slots_.reserve(cands.size());
+    heap_.reserve(cands.size());
+    for (const Candidate* c : cands) {
+      Add(*c, score_fn(*c));
+    }
+  }
+
+  // Pre-sizes every buffer (slot slab, heap array, index capacity) for up
+  // to n candidates, so Reset/Init cycles at or below that cardinality
+  // never allocate.
+  void Reserve(size_t n) {
+    slots_.reserve(n);
+    heap_.reserve(n);
+    index_.Reserve(n);
+  }
+
+  // Forgets all slots but keeps every buffer (slot slab, heap array, index
+  // capacity), so Reset/Init cycles of similar cardinality allocate nothing.
+  void Reset() {
+    slots_.clear();
+    heap_.clear();
+    index_.Clear();
   }
 
   // Live maximum by (score, vertex), without popping.
@@ -123,6 +140,21 @@ class ExchangeHeap {
   static bool Live(const Slot& s) { return s.heap_pos != kRemoved; }
 
  private:
+  void Add(const Candidate& c, double s) {
+    if (const int32_t* found = index_.Find(c.vertex)) {
+      // Duplicate offer: last candidate wins wholesale (seed overwrote
+      // both current[v] and candidates[v]).
+      slots_[*found].candidate = &c;
+      Rekey(*found, s);
+      return;
+    }
+    const auto slot = static_cast<int32_t>(slots_.size());
+    slots_.push_back(Slot{c.vertex, s, &c, static_cast<int32_t>(heap_.size())});
+    heap_.push_back(slot);
+    index_.Insert(c.vertex, slot);
+    SiftUp(slots_[slot].heap_pos);
+  }
+
   // Strict "a outranks b": lexicographic max on (score, vertex) — exactly
   // std::pair<double, VertexId>'s operator< as used by the seed's heap.
   bool Higher(int32_t a, int32_t b) const {

@@ -7,6 +7,7 @@
 
 #include "src/common/check.h"
 #include "src/core/exchange_heap.h"
+#include "src/core/joint_selection.h"
 
 namespace actop {
 
@@ -116,9 +117,13 @@ Candidate MakeCandidate(const LocalGraphView& view, VertexId v, double score) {
   return c;
 }
 
-}  // namespace
-
-std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseConfig& config) {
+// Shared planning body: `for_each_vertex(fn)` must invoke
+// fn(VertexId, const VertexAdjacency&) once per local vertex. The visit
+// order decides top-k tie-breaking, so BuildPeerPlans and
+// BuildPeerPlansOrdered differ only in the provider they pass here.
+template <typename ForEachVertex>
+std::vector<PeerPlan> BuildPeerPlansImpl(const LocalGraphView& view, const PairwiseConfig& config,
+                                         ForEachVertex&& for_each_vertex) {
   // Per-vertex, per-server weight sums in one pass over the sampled edges.
   std::unordered_map<ServerId, TopK> per_peer;
   // Remote server -> summed weight of the current vertex's edges into it.
@@ -128,7 +133,7 @@ std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseC
   // per server is unchanged (driven by the adjacency iteration), so sums are
   // bit-identical.
   std::vector<std::pair<ServerId, double>> remote_weight;
-  for (const auto& [v, adj] : view.adjacency) {
+  for_each_vertex([&](VertexId v, const VertexAdjacency& adj) {
     double local_weight = 0.0;
     remote_weight.clear();
     for (const auto& [u, w] : adj) {
@@ -157,7 +162,7 @@ std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseC
         per_peer.try_emplace(server, config.candidate_set_size).first->second.Offer(v, score);
       }
     }
-  }
+  });
 
   std::vector<PeerPlan> plans;
   plans.reserve(per_peer.size());
@@ -187,22 +192,34 @@ std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseC
   return plans;
 }
 
-namespace {
-
-double EdgeWeightBetween(const Candidate& a, const Candidate& b) {
-  if (auto it = a.edges.find(b.vertex); it != a.edges.end()) {
-    return it->second.weight;
-  }
-  if (auto it = b.edges.find(a.vertex); it != b.edges.end()) {
-    return it->second.weight;
-  }
-  return 0.0;
-}
-
 }  // namespace
 
-ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeRequest& request,
-                                const PairwiseConfig& config) {
+std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseConfig& config) {
+  return BuildPeerPlansImpl(view, config, [&](auto&& fn) {
+    for (const auto& [v, adj] : view.adjacency) {
+      fn(v, adj);
+    }
+  });
+}
+
+std::vector<PeerPlan> BuildPeerPlansOrdered(const LocalGraphView& view,
+                                            const PairwiseConfig& config,
+                                            const std::vector<VertexId>& order) {
+  return BuildPeerPlansImpl(view, config, [&](auto&& fn) {
+    for (VertexId v : order) {
+      const auto it = view.adjacency.find(v);
+      if (it != view.adjacency.end()) {
+        fn(v, it->second);
+      }
+    }
+  });
+}
+
+namespace {
+
+ExchangeDecision DecideExchangeImpl(const LocalGraphView& view, const ExchangeRequest& request,
+                                    const PairwiseConfig& config,
+                                    const std::vector<VertexId>* order) {
   ExchangeDecision decision;
   const ServerId p = request.from;
   const ServerId q = view.self;
@@ -210,7 +227,9 @@ ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeReques
 
   // Step 2: q determines its own candidate set T toward p, ignoring S.
   std::vector<Candidate> t_candidates;
-  for (const PeerPlan& plan : BuildPeerPlans(view, config)) {
+  const std::vector<PeerPlan> plans =
+      order ? BuildPeerPlansOrdered(view, config, *order) : BuildPeerPlans(view, config);
+  for (const PeerPlan& plan : plans) {
     if (plan.peer == p) {
       t_candidates = plan.candidates;
       break;
@@ -250,111 +269,26 @@ ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeReques
                       : static_cast<double>(request.from_num_vertices);
   double size_q = view.TotalSize();
 
-  // Step 3: jointly determine S0 and T0 (iterative greedy, §4.2).
-  while (true) {
-    VertexId sv = 0;
-    VertexId tv = 0;
-    double s_score = 0.0;
-    double t_score = 0.0;
-    const bool has_s = s_heap.PeekTop(&sv, &s_score) && s_score > config.min_score;
-    const bool has_t = t_heap.PeekTop(&tv, &t_score) && t_score > config.min_score;
-    if (!has_s && !has_t) {
-      break;
-    }
-
-    // Applies one move (from_s: p->q, else q->p) and propagates score
-    // updates: after `moved` switches sides, an edge (moved, u) flips its
-    // contribution to u's transfer score by 2w — same-side candidates gain,
-    // opposite-side candidates lose.
-    auto apply_move = [&](bool from_s) {
-      ExchangeHeap& from = from_s ? s_heap : t_heap;
-      const VertexId moved = from_s ? sv : tv;
-      const Candidate* moved_candidate = from.CandidateOf(moved);
-      const double moved_size = moved_candidate->size;
-      if (from_s) {
-        decision.accepted.push_back(moved);
-        s_heap.Remove(moved);
-        size_p -= moved_size;
-        size_q += moved_size;
-      } else {
-        decision.counter_offer.push_back(*moved_candidate);
-        t_heap.Remove(moved);
-        size_p += moved_size;
-        size_q -= moved_size;
-      }
-      for (const ExchangeHeap::Slot& slot : s_heap.slots()) {
-        if (slot.vertex == moved || !ExchangeHeap::Live(slot)) {
-          continue;
-        }
-        const double w = EdgeWeightBetween(*slot.candidate, *moved_candidate);
-        if (w > 0.0) {
-          s_heap.Update(slot.vertex, from_s ? +2.0 * w : -2.0 * w);
-        }
-      }
-      for (const ExchangeHeap::Slot& slot : t_heap.slots()) {
-        if (slot.vertex == moved || !ExchangeHeap::Live(slot)) {
-          continue;
-        }
-        const double w = EdgeWeightBetween(*slot.candidate, *moved_candidate);
-        if (w > 0.0) {
-          t_heap.Update(slot.vertex, from_s ? -2.0 * w : +2.0 * w);
-        }
-      }
-    };
-
-    // Prefer the globally highest score; fall back to the other heap when the
-    // balance constraint blocks the preferred move; as a last resort pair one
-    // move from each side (net size change zero) so tight balance budgets do
-    // not freeze profitable swaps.
-    bool take_s;
-    if (has_s && has_t) {
-      take_s = s_score >= t_score;
-    } else {
-      take_s = has_s;
-    }
-    const bool s_fits =
-        has_s && config.BalanceAllows(size_p, size_q, s_heap.CandidateOf(sv)->size);
-    const bool t_fits =
-        has_t && config.BalanceAllows(size_q, size_p, t_heap.CandidateOf(tv)->size);
-    if (take_s && !s_fits) {
-      take_s = false;
-    }
-    if (!take_s && !t_fits) {
-      if (s_fits) {
-        take_s = true;
-      } else if (has_s && has_t &&
-                 (s_heap.CandidateOf(sv)->size >= t_heap.CandidateOf(tv)->size
-                      ? config.BalanceAllows(size_p, size_q, s_heap.CandidateOf(sv)->size -
-                                                                 t_heap.CandidateOf(tv)->size)
-                      : config.BalanceAllows(size_q, size_p, t_heap.CandidateOf(tv)->size -
-                                                                 s_heap.CandidateOf(sv)->size))) {
-        // A paired swap only shifts the size difference; balance must allow
-        // that net shift (always true for uniform actors).
-        // Paired swap (net size change zero). Evaluate the pair BEFORE
-        // applying anything: after the first endpoint switches sides, the
-        // second's score drops by 2·w(sv, tv) if they share an edge. Both
-        // halves must remain individually profitable so the swap strictly
-        // reduces cost and the balance invariant holds.
-        const Candidate* s_cand = s_heap.CandidateOf(sv);
-        const Candidate* t_cand = t_heap.CandidateOf(tv);
-        const double cross = EdgeWeightBetween(*s_cand, *t_cand);
-        const double adj_s = s_score - 2.0 * cross;
-        const double adj_t = t_score - 2.0 * cross;
-        const bool s_first = s_score >= t_score;
-        const double second_score = s_first ? adj_t : adj_s;
-        if (second_score <= config.min_score) {
-          break;  // no jointly profitable swap available
-        }
-        apply_move(s_first);
-        apply_move(!s_first);
-        continue;
-      } else {
-        break;  // neither side can move without violating balance
-      }
-    }
-    apply_move(take_s);
-  }
+  // Step 3: jointly determine S0 and T0 (iterative greedy, §4.2) — the loop
+  // itself lives in joint_selection.h, shared with the CSR arena data plane.
+  RunJointSelection(
+      s_heap, t_heap, config, size_p, size_q,
+      [&](VertexId moved, const Candidate*) { decision.accepted.push_back(moved); },
+      [&](VertexId, const Candidate* c) { decision.counter_offer.push_back(*c); });
   return decision;
+}
+
+}  // namespace
+
+ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeRequest& request,
+                                const PairwiseConfig& config) {
+  return DecideExchangeImpl(view, request, config, nullptr);
+}
+
+ExchangeDecision DecideExchangeOrdered(const LocalGraphView& view, const ExchangeRequest& request,
+                                       const PairwiseConfig& config,
+                                       const std::vector<VertexId>& order) {
+  return DecideExchangeImpl(view, request, config, &order);
 }
 
 double CutCost(const std::unordered_map<VertexId, VertexAdjacency>& adjacency,

@@ -179,6 +179,19 @@ class CandidateAdjacency {
     }
   }
 
+  // Drops all edges but keeps the backing buffer — the arena data plane
+  // (repartition_arena.cc) recycles Candidate objects across rounds and must
+  // not free/reallocate edge storage in steady state.
+  void clear() { items_.clear(); }
+
+  // Appends an edge whose key is strictly greater than every present key.
+  // Callers that already visit edges in ascending-id order (the CSR slabs)
+  // skip bulk_assign's sort entirely.
+  void append_ascending(VertexId u, CandidateEdge edge) {
+    ACTOP_DCHECK(items_.empty() || items_.back().first < u);
+    items_.emplace_back(u, edge);
+  }
+
  private:
   const_iterator LowerBound(VertexId u) const {
     return std::lower_bound(
@@ -233,10 +246,27 @@ double TransferScore(const LocalGraphView& view, VertexId v, ServerId q);
 // descending. Peers with no positive-score candidates are omitted.
 std::vector<PeerPlan> BuildPeerPlans(const LocalGraphView& view, const PairwiseConfig& config);
 
+// As BuildPeerPlans, but visits local vertices in exactly the order given by
+// `order` (vertices absent from view.adjacency are skipped). The hash-map
+// path above iterates view.adjacency in container order, which is a
+// libstdc++ implementation detail; pinning the visit order makes top-k
+// tie-breaking — and therefore the emitted plans — byte-stable across
+// standard-library versions and reproducible by the flat CSR arena, which
+// always scans vertices in ascending-id order.
+std::vector<PeerPlan> BuildPeerPlansOrdered(const LocalGraphView& view,
+                                            const PairwiseConfig& config,
+                                            const std::vector<VertexId>& order);
+
 // q-side joint subset selection. `view` is q's local view; the request came
 // from p. Never returns a decision that violates the balance constraint.
 ExchangeDecision DecideExchange(const LocalGraphView& view, const ExchangeRequest& request,
                                 const PairwiseConfig& config);
+
+// As DecideExchange, but builds q's counter-candidate set T with
+// BuildPeerPlansOrdered(view, config, order). Same stability rationale.
+ExchangeDecision DecideExchangeOrdered(const LocalGraphView& view, const ExchangeRequest& request,
+                                       const PairwiseConfig& config,
+                                       const std::vector<VertexId>& order);
 
 // Communication cost of a full partition: sum of weights of edges crossing
 // servers. `locations` maps every vertex to its server; `adjacency` is the

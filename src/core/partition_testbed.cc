@@ -60,6 +60,33 @@ WeightedGraph MakeClusteredGraph(int clusters, int cluster_size, double intra_we
   return g;
 }
 
+WeightedGraph MakeChurnedClusteredGraph(int clusters, int cluster_size, double intra_weight,
+                                        double churn_fraction, Rng* rng) {
+  ACTOP_CHECK(clusters >= 2);
+  ACTOP_CHECK(churn_fraction >= 0.0 && churn_fraction <= 1.0);
+  WeightedGraph g = MakeClusteredGraph(clusters, cluster_size, intra_weight,
+                                       /*extra_edges=*/0, /*inter_weight=*/intra_weight, rng);
+  const int n = clusters * cluster_size;
+  const int churned = static_cast<int>(churn_fraction * static_cast<double>(n));
+  const int new_edges = cluster_size / 2;
+  for (int i = 0; i < churned; i++) {
+    const auto v = static_cast<VertexId>(rng->NextInt(1, n));
+    const int home = static_cast<int>((v - 1) / static_cast<VertexId>(cluster_size));
+    int target = rng->NextInt(0, clusters - 1);
+    if (target == home) {
+      target = (target + 1) % clusters;
+    }
+    const int base = target * cluster_size + 1;
+    for (int e = 0; e < new_edges; e++) {
+      const auto u = static_cast<VertexId>(base + rng->NextInt(0, cluster_size - 1));
+      if (u != v) {
+        g.AddEdge(v, u, intra_weight / 2.0);
+      }
+    }
+  }
+  return g;
+}
+
 WeightedGraph MakeRandomGraph(int vertices, int edges, double max_weight, Rng* rng) {
   ACTOP_CHECK(vertices >= 2);
   WeightedGraph g;
@@ -154,6 +181,17 @@ LocalGraphView PartitionTestbed::BuildView(ServerId p) const {
   return view;
 }
 
+std::vector<VertexId> PartitionTestbed::SampledMembers(ServerId p) const {
+  std::vector<VertexId> order;
+  order.reserve(members_[static_cast<size_t>(p)].size());
+  for (VertexId v : members_[static_cast<size_t>(p)]) {
+    if (!graph_->NeighborsOf(v).empty()) {
+      order.push_back(v);
+    }
+  }
+  return order;
+}
+
 void PartitionTestbed::ApplyMove(VertexId v, ServerId to) {
   const ServerId from = locations_.at(v);
   ACTOP_CHECK(from != to);
@@ -169,7 +207,7 @@ void PartitionTestbed::ApplyMove(VertexId v, ServerId to) {
 
 int PartitionTestbed::RunRound(ServerId p) {
   const LocalGraphView p_view = BuildView(p);
-  std::vector<PeerPlan> plans = BuildPeerPlans(p_view, config_);
+  std::vector<PeerPlan> plans = BuildPeerPlansOrdered(p_view, config_, SampledMembers(p));
   for (const PeerPlan& plan : plans) {
     ExchangeRequest request;
     request.from = p;
@@ -177,7 +215,8 @@ int PartitionTestbed::RunRound(ServerId p) {
     request.from_total_size = size_sums_[static_cast<size_t>(p)];
     request.candidates = plan.candidates;
     const LocalGraphView q_view = BuildView(plan.peer);
-    ExchangeDecision decision = DecideExchange(q_view, request, config_);
+    ExchangeDecision decision =
+        DecideExchangeOrdered(q_view, request, config_, SampledMembers(plan.peer));
     if (decision.rejected) {
       continue;
     }
@@ -219,7 +258,7 @@ int PartitionTestbed::RunUnilateralSweep() {
   for (ServerId p = 0; p < num_servers_; p++) {
     const LocalGraphView view = BuildView(p);
     std::vector<int64_t> assumed_sizes = snapshot_sizes;
-    for (const PeerPlan& plan : BuildPeerPlans(view, config_)) {
+    for (const PeerPlan& plan : BuildPeerPlansOrdered(view, config_, SampledMembers(p))) {
       for (const Candidate& c : plan.candidates) {
         const auto from = static_cast<size_t>(p);
         const auto to = static_cast<size_t>(plan.peer);

@@ -12,8 +12,8 @@
 #ifndef SRC_CORE_PARTITION_TESTBED_H_
 #define SRC_CORE_PARTITION_TESTBED_H_
 
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -53,6 +53,15 @@ WeightedGraph MakeClusteredGraph(int clusters, int cluster_size, double intra_we
 
 // Uniform random graph (Erdős–Rényi-style by edge count).
 WeightedGraph MakeRandomGraph(int vertices, int edges, double max_weight, Rng* rng);
+
+// Clustered graph after session churn: starts from MakeClusteredGraph's
+// clique structure, then rewires `churn_fraction` of the vertices into a
+// different random cluster (half-strength edges to half its members — the
+// player joined a new game but the old session edges are still warm). This
+// is the adversarial shape for repartitioners: the initial cluster signal
+// points to the *old* placement.
+WeightedGraph MakeChurnedClusteredGraph(int clusters, int cluster_size, double intra_weight,
+                                        double churn_fraction, Rng* rng);
 
 class PartitionTestbed {
  public:
@@ -97,6 +106,13 @@ class PartitionTestbed {
   // Builds server p's view from the global truth (full knowledge).
   LocalGraphView BuildView(ServerId p) const;
 
+  // p's members with at least one observed edge, ascending by id — the
+  // canonical vertex-visit order handed to BuildPeerPlansOrdered /
+  // DecideExchangeOrdered so protocol decisions do not depend on hash-map
+  // iteration (libstdc++-version-stable, and reproducible by the CSR arena's
+  // dense ascending scan).
+  std::vector<VertexId> SampledMembers(ServerId p) const;
+
   // §4.2 extension: assigns per-vertex sizes (default 1.0 for all). Must be
   // called before any rounds run; recomputes per-server size totals and
   // switches the balance constraint to size units.
@@ -115,7 +131,10 @@ class PartitionTestbed {
   double SizeOf(VertexId v) const;
 
   std::unordered_map<VertexId, ServerId> locations_;
-  std::vector<std::unordered_set<VertexId>> members_;  // per-server vertex sets
+  // Per-server vertex sets, ordered: every loop over a server's members
+  // (view building, size sums) visits ascending ids, so results are
+  // byte-stable across standard-library versions.
+  std::vector<std::set<VertexId>> members_;
   std::vector<int64_t> sizes_;            // vertex counts per server
   std::unordered_map<VertexId, double> vertex_sizes_;  // empty: uniform 1.0
   std::vector<double> size_sums_;         // total size per server

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
+#include <tuple>
+#include <vector>
 
 #include "src/common/rng.h"
 
@@ -141,6 +144,76 @@ TEST(PartitionTestbedTest, DeterministicForSeed) {
   b.RunToConvergence(100);
   EXPECT_DOUBLE_EQ(a.Cost(), b.Cost());
   EXPECT_EQ(a.total_migrations(), b.total_migrations());
+}
+
+TEST(PartitionTestbedTest, InsertionOrderDoesNotAffectDecisions) {
+  // The testbed's planning order is canonical (ascending vertex id via
+  // SampledMembers), so two graphs with identical topology but different
+  // edge-insertion orders must produce byte-identical runs. Weights are
+  // dyadic so per-vertex summation order cannot perturb any score either.
+  Rng rng(31);
+  std::vector<std::tuple<VertexId, VertexId, double>> edges;
+  for (int c = 0; c < 12; c++) {
+    for (int i = 0; i < 6; i++) {
+      for (int j = i + 1; j < 6; j++) {
+        edges.emplace_back(c * 6 + i + 1, c * 6 + j + 1, 1.0);
+      }
+    }
+  }
+  for (int e = 0; e < 60; e++) {
+    const auto a = static_cast<VertexId>(rng.NextInt(1, 72));
+    const auto b = static_cast<VertexId>(rng.NextInt(1, 72));
+    if (a != b) {
+      edges.emplace_back(a, b, 0.25);
+    }
+  }
+  WeightedGraph forward;
+  for (const auto& [a, b, w] : edges) {
+    forward.AddEdge(a, b, w);
+  }
+  WeightedGraph shuffled;
+  std::vector<size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  for (size_t i = order.size(); i > 1; i--) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  for (size_t idx : order) {
+    const auto& [a, b, w] = edges[idx];
+    shuffled.AddEdge(b, a, w);  // also flip endpoints: the graph is symmetric
+  }
+
+  PairwiseConfig config;
+  config.candidate_set_size = 8;
+  config.balance_delta = 6;
+  PartitionTestbed x(&forward, 4, config, 55);
+  PartitionTestbed y(&shuffled, 4, config, 55);
+  for (int sweep = 0; sweep < 40; sweep++) {
+    int moved = 0;
+    for (ServerId p = 0; p < 4; p++) {
+      const int mx = x.RunRound(p);
+      ASSERT_EQ(mx, y.RunRound(p)) << "sweep " << sweep << " server " << p;
+      moved += mx;
+    }
+    for (VertexId v = 1; v <= 72; v++) {
+      ASSERT_EQ(x.LocationOf(v), y.LocationOf(v)) << "sweep " << sweep;
+    }
+    ASSERT_EQ(x.Cost(), y.Cost()) << "sweep " << sweep;
+    if (moved == 0) {
+      break;
+    }
+  }
+  EXPECT_EQ(x.total_migrations(), y.total_migrations());
+}
+
+TEST(PartitionTestbedTest, SampledMembersAreSortedPerServer) {
+  Rng rng(41);
+  WeightedGraph g = MakeRandomGraph(120, 400, 1.0, &rng);
+  PairwiseConfig config;
+  PartitionTestbed bed(&g, 5, config, 7);
+  for (ServerId p = 0; p < 5; p++) {
+    const auto members = bed.SampledMembers(p);
+    EXPECT_TRUE(std::is_sorted(members.begin(), members.end())) << "server " << p;
+  }
 }
 
 TEST(PartitionTestbedTest, UnilateralConvergesSlowerOrWorse) {
