@@ -1,18 +1,28 @@
 #!/usr/bin/env bash
 # Perf-regression gate for the engine/messaging, partitioning,
-# repartitioning-arena, cluster/CPU-scheduler and parallel-core hot paths.
+# repartitioning-arena, cluster/CPU-scheduler, parallel-core and
+# halo-scale hot paths.
 #
-# Builds bench_engine, bench_partition, bench_arena, bench_cluster and
-# bench_parallel in Release mode, runs all five, writes BENCH_<name>.json at
-# the repo root, and — when a checked-in baseline exists — fails (exit 1) if
-# any scenario's events/sec regressed more than THRESHOLD (default 10%)
-# against the corresponding file in bench/baselines/. bench_partition and
-# bench_cluster additionally self-gate their in-binary geomean speedups vs
-# the retained seed implementations (1.5x floors), bench_arena self-gates
-# its 5x geomean vs the map-based testbed plus zero steady-state
-# allocations, bench_cluster fails if an optimized CPU scenario allocates in
-# steady state, and bench_parallel self-gates the 3x-at-8-shards scaling
-# floor on hosts with >= 8 hardware threads.
+# Builds bench_engine, bench_partition, bench_arena, bench_cluster,
+# bench_parallel and bench_halo_scale in Release mode, runs all six, writes
+# BENCH_<name>.json at the repo root, and — when a checked-in baseline
+# exists — fails (exit 1) if any scenario's events/sec regressed more than
+# THRESHOLD (default 10%) against the corresponding file in
+# bench/baselines/. bench_partition and bench_cluster additionally
+# self-gate their in-binary geomean speedups vs the retained seed
+# implementations (1.5x floors), bench_arena self-gates its 5x geomean vs
+# the map-based testbed plus zero steady-state allocations, bench_cluster
+# fails if an optimized CPU scenario allocates in steady state,
+# bench_parallel self-gates the 3x-at-8-shards scaling floor on hosts with
+# >= 8 hardware threads, and bench_halo_scale self-gates the bytes/actor
+# build ceiling at the 1000-server / 10M-player point.
+#
+# bench_halo_scale is the outlier in cost and calling convention: the full
+# run takes ~20 minutes, its baseline is population-specific (the binary
+# refuses a --scale that differs from the baseline's recorded scale instead
+# of comparing incomparable populations), so it is pinned to a single
+# attempt, and SCALE=... quick runs must either exclude it
+# (PERF_GATE_BENCHES) or bring a baseline recorded at that scale.
 #
 # On a failed gate the script emits one structured line per regressed
 # scenario to stderr:
@@ -64,7 +74,7 @@ SCALE="${SCALE:-1.0}"
 BUILD_DIR="${BUILD_DIR:-build-release}"
 OUT_DIR="${OUT_DIR:-.}"
 BASELINE_DIR="${BASELINE_DIR:-bench/baselines}"
-PERF_GATE_BENCHES="${PERF_GATE_BENCHES:-engine partition arena cluster parallel}"
+PERF_GATE_BENCHES="${PERF_GATE_BENCHES:-engine partition arena cluster parallel halo_scale}"
 # Wall-clock throughput on shared builders dips 20-30% under transient host
 # load. A real regression reproduces on every attempt; a noise dip does not,
 # so retry a failing bench up to ATTEMPTS times before declaring a regression.
@@ -199,6 +209,9 @@ for bench in ${PERF_GATE_BENCHES}; do
   case "${bench}" in
     # The parallel scaling bench is pinned to 2 attempts (see header).
     parallel) run_gate parallel 2 ;;
+    # The halo-scale bench runs ~20 minutes at full scale; one attempt only
+    # (its baseline carries enough headroom to absorb builder noise).
+    halo_scale) run_gate halo_scale 1 ;;
     *) run_gate "${bench}" ;;
   esac
 done

@@ -11,6 +11,10 @@
 #      0. The gate must exit 0 and emit no FAIL line.
 #   3. missing-baseline case — without ALLOW_MISSING_BASELINE the gate must
 #      refuse to run the bench (exit 1).
+#   4. halo_scale pinning — the halo-scale bench is pinned to one attempt
+#      regardless of ATTEMPTS (a ~20-minute run is too expensive to retry);
+#      a failing stub bench_halo_scale must be invoked exactly once and the
+#      gate must still emit the structured FAIL line for it.
 # When shellcheck is available both scripts must also lint clean.
 
 set -euo pipefail
@@ -96,6 +100,50 @@ if run_gate_with_stub "${tmp}/regressed.json" 0; then
   fail "gate exited 0 with no baseline and no ALLOW_MISSING_BASELINE"
 fi
 grep -q 'no baseline' "${tmp}/stderr.txt" || fail "missing-baseline error not reported"
+
+# Case 4: halo_scale is pinned to a single attempt even when ATTEMPTS asks
+# for retries, and its failures still carry the structured line. The stub
+# logs each invocation so the attempt count is observable.
+cat > "${tmp}/baselines/BENCH_halo_scale.baseline.json" <<'EOF'
+{
+  "bench": "halo_scale",
+  "scenarios": [
+    {"name": "halo_scale", "events": 8000, "events_per_sec": 5.5, "bytes_per_actor": 2886.9}
+  ]
+}
+EOF
+cat > "${tmp}/halo_regressed.json" <<'EOF'
+{
+  "bench": "halo_scale",
+  "scenarios": [
+    {"name": "halo_scale", "events": 8000, "events_per_sec": 2.0, "bytes_per_actor": 2886.9}
+  ]
+}
+EOF
+cat > "${tmp}/build/bench/bench_halo_scale" <<'EOF'
+#!/usr/bin/env bash
+echo run >> "${STUB_CALLS}"
+out=""
+for arg in "$@"; do
+  case "${arg}" in
+    --json=*) out="${arg#--json=}" ;;
+  esac
+done
+[[ -n "${out}" ]] && cp "${STUB_JSON}" "${out}"
+exit 1
+EOF
+chmod +x "${tmp}/build/bench/bench_halo_scale"
+: > "${tmp}/halo_calls.txt"
+if STUB_JSON="${tmp}/halo_regressed.json" STUB_CALLS="${tmp}/halo_calls.txt" \
+   PERF_GATE_BENCHES="halo_scale" PERF_GATE_NO_BUILD=1 ATTEMPTS=3 \
+   BUILD_DIR="${tmp}/build" OUT_DIR="${tmp}/out" BASELINE_DIR="${tmp}/baselines" \
+     scripts/perf_gate.sh 2> "${tmp}/stderr.txt"; then
+  fail "gate exited 0 on a failing halo_scale bench"
+fi
+calls="$(wc -l < "${tmp}/halo_calls.txt")"
+[[ "${calls}" -eq 1 ]] || fail "halo_scale ran ${calls} attempts; pinned count is 1"
+grep -q 'perf_gate: FAIL bench=halo_scale scenario=halo_scale metric=events_per_sec' \
+  "${tmp}/stderr.txt" || fail "missing structured failure line for halo_scale"
 
 if command -v shellcheck >/dev/null 2>&1; then
   shellcheck scripts/perf_gate.sh scripts/test_perf_gate.sh

@@ -4,38 +4,62 @@
 
 namespace actop {
 
+uint32_t DirectoryShard::AllocSlot() {
+  if (free_head_ != kNilIndex) {
+    const uint32_t slot = free_head_;
+    free_head_ = slots_[slot].free_next;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
 DirEntry DirectoryShard::LookupOrRegister(ActorId actor, ServerId suggested_owner) {
   ACTOP_CHECK(suggested_owner != kNoServer);
-  auto it = entries_.find(actor);
-  if (it == entries_.end()) {
-    const DirEntry entry{suggested_owner, next_token_++};
-    entries_.emplace(actor, entry);
-    return entry;
+  if (const uint32_t* pos = index_.Find(actor)) {
+    return slots_[*pos].entry;
   }
-  return it->second;
+  const uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.actor = actor;
+  s.entry = DirEntry{suggested_owner, next_token_++};
+  s.live = true;
+  index_.Insert(actor, slot);
+  live_++;
+  return s.entry;
 }
 
 ServerId DirectoryShard::Lookup(ActorId actor) const {
-  auto it = entries_.find(actor);
-  return it == entries_.end() ? kNoServer : it->second.owner;
+  const uint32_t* pos = index_.Find(actor);
+  return pos == nullptr ? kNoServer : slots_[*pos].entry.owner;
 }
 
 void DirectoryShard::Unregister(ActorId actor, ServerId owner, uint64_t token) {
-  auto it = entries_.find(actor);
-  if (it != entries_.end() && it->second.owner == owner &&
-      (token == 0 || it->second.token == token)) {
-    entries_.erase(it);
+  const uint32_t* pos = index_.Find(actor);
+  if (pos == nullptr) {
+    return;
+  }
+  Slot& s = slots_[*pos];
+  if (s.entry.owner == owner && (token == 0 || s.entry.token == token)) {
+    s.live = false;
+    s.free_next = free_head_;
+    free_head_ = *pos;
+    live_--;
+    index_.Erase(actor);
   }
 }
 
 int DirectoryShard::EvictServer(ServerId server) {
   int evicted = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.owner == server) {
-      it = entries_.erase(it);
+  for (uint32_t i = 0; i < slots_.size(); i++) {
+    Slot& s = slots_[i];
+    if (s.live && s.entry.owner == server) {
+      s.live = false;
+      s.free_next = free_head_;
+      free_head_ = i;
+      live_--;
+      index_.Erase(s.actor);
       evicted++;
-    } else {
-      ++it;
     }
   }
   return evicted;

@@ -1,13 +1,21 @@
 #include "src/actor/location_cache.h"
 
+#include <algorithm>
+
 #include "src/common/check.h"
 
 namespace actop {
 
 LocationCache::LocationCache(size_t capacity) : capacity_(capacity) {
   ACTOP_CHECK(capacity >= 1);
-  nodes_.reserve(capacity);
-  map_.Reserve(capacity);
+  // Reserve lazily, not at full capacity: the default capacity is 128k
+  // entries, and a 1000-server cluster builds 1000 of these — eager
+  // reservation alone would pin ~7 GB before a single message flows. Caches
+  // that actually fill grow to capacity on demand; the steady-state
+  // allocation profile is unchanged once the population stabilizes.
+  const size_t initial = std::min(capacity, kInitialReserve);
+  nodes_.reserve(initial);
+  map_.Reserve(initial);
 }
 
 uint32_t LocationCache::AllocNode() {

@@ -61,6 +61,9 @@ class LocationCache {
 
  private:
   static constexpr uint32_t kNil = 0xFFFFFFFFu;
+  // Initial reservation cap: large caches grow on demand instead of pinning
+  // capacity_ slots up front (see the constructor).
+  static constexpr size_t kInitialReserve = 4096;
 
   struct Node {
     ActorId actor = kNoActor;

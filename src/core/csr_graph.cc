@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/core/pairwise_partition.h"
 #include "src/core/partition_testbed.h"
 
 namespace actop {
@@ -40,6 +41,60 @@ CsrGraph CsrGraph::FromWeighted(const WeightedGraph& g) {
     }
   }
   return out;
+}
+
+CsrGraph CsrGraph::FromLocalView(const LocalGraphView& view) {
+  std::vector<CsrEdge> edges;
+  for (const auto& [v, adj] : view.adjacency) {
+    for (const auto& [u, w] : adj) {
+      edges.push_back(CsrEdge{v, u, w});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const CsrEdge& a, const CsrEdge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  CsrGraph out;
+  out.RebuildFromEdgeList(edges);
+  return out;
+}
+
+void CsrGraph::RebuildFromEdgeList(const std::vector<CsrEdge>& edges) {
+  // Vertex set: sources plus every referenced destination, sorted and
+  // deduplicated (ascending ids == ascending dense indices, as always).
+  ids_.clear();
+  for (const CsrEdge& e : edges) {
+    ids_.push_back(e.src);
+    ids_.push_back(e.dst);
+  }
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  const size_t n = ids_.size();
+  index_.Clear();
+  index_.Reserve(n);
+  for (size_t i = 0; i < n; i++) {
+    index_.Insert(ids_[i], static_cast<int32_t>(i));
+  }
+  offsets_.assign(n + 1, 0);
+  nbr_.resize(edges.size());
+  weight_.resize(edges.size());
+  // Sorted by (src, dst) means edges already arrive in CSR order: spans fill
+  // contiguously in ascending source index, each sorted by destination index
+  // (id order == index order on both axes).
+  size_t e_i = 0;
+  for (const CsrEdge& e : edges) {
+    if (e_i > 0) {
+      ACTOP_DCHECK(edges[e_i - 1].src < e.src ||
+                   (edges[e_i - 1].src == e.src && edges[e_i - 1].dst < e.dst));
+    }
+    const int32_t src_idx = IndexOf(e.src);
+    offsets_[static_cast<size_t>(src_idx) + 1]++;
+    nbr_[e_i] = IndexOf(e.dst);
+    weight_[e_i] = e.weight;
+    e_i++;
+  }
+  for (size_t i = 0; i < n; i++) {
+    offsets_[i + 1] += offsets_[i];
+  }
 }
 
 }  // namespace actop

@@ -33,6 +33,14 @@
 namespace actop {
 
 class WeightedGraph;
+struct LocalGraphView;
+
+// One directed sampled edge, the input unit of RebuildFromEdgeList.
+struct CsrEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  double weight = 0.0;
+};
 
 class CsrGraph {
  public:
@@ -41,6 +49,22 @@ class CsrGraph {
   // Freezes `g` (including isolated vertices, which still occupy balance
   // slots during partitioning).
   static CsrGraph FromWeighted(const WeightedGraph& g);
+
+  // Freezes an agent-sampled LocalGraphView (pairwise_partition.h): the
+  // vertex set is the view's local vertices plus every referenced neighbor,
+  // but only local vertices carry adjacency spans — remote endpoints get
+  // empty spans. The result is therefore NOT symmetric: it supports the
+  // arena's planning scans (which only read spans of the initiating
+  // server's vertices) and nothing that maintains cut cost.
+  static CsrGraph FromLocalView(const LocalGraphView& view);
+
+  // In-place variant of FromLocalView over a raw directed edge list, reusing
+  // every internal buffer — the runtime PartitionAgent refreezes its sampled
+  // view each round through this without allocating in steady state. `edges`
+  // must be sorted by (src, dst) with unique pairs; the vertex set is
+  // sources plus destinations, and only sources carry spans (same
+  // asymmetric contract as FromLocalView).
+  void RebuildFromEdgeList(const std::vector<CsrEdge>& edges);
 
   int32_t num_vertices() const { return static_cast<int32_t>(ids_.size()); }
   // Directed edge slots (2x the undirected edge count).

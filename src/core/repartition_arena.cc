@@ -39,7 +39,55 @@ RepartitionArena::RepartitionArena(const CsrGraph* graph, int servers, PairwiseC
   if (config_.target_size < 0.0) {
     config_.target_size = static_cast<double>(n) / static_cast<double>(servers);
   }
-  topk_.resize(static_cast<size_t>(servers));
+  InitScratch();
+  cut_cost_ = RecomputeCost();
+}
+
+RepartitionArena::RepartitionArena(const CsrGraph* graph, int servers, PairwiseConfig config,
+                                   std::vector<ServerId> assignment)
+    : graph_(graph), num_servers_(servers), config_(config), rng_(0) {
+  ACTOP_CHECK(graph != nullptr);
+  ACTOP_CHECK(servers >= 2);
+  planning_only_ = true;
+  InitScratch();
+  ResetPlanning(config, assignment);
+  // cut_cost_ stays 0: the local-view CSR this ctor exists for is
+  // asymmetric, so the O(E) recompute would double- or under-count.
+}
+
+void RepartitionArena::ResetPlanning(const PairwiseConfig& config,
+                                     const std::vector<ServerId>& assignment) {
+  ACTOP_CHECK(planning_only_);
+  config_ = config;
+  const auto n = static_cast<size_t>(graph_->num_vertices());
+  ACTOP_CHECK(assignment.size() == n);
+  loc_.assign(assignment.begin(), assignment.end());
+  counts_.assign(static_cast<size_t>(num_servers_), 0);
+  for (size_t i = 0; i < n; i++) {
+    ACTOP_CHECK(loc_[i] >= 0 && loc_[i] < num_servers_);
+    counts_[static_cast<size_t>(loc_[i])]++;
+  }
+  size_sums_.assign(static_cast<size_t>(num_servers_), 0.0);
+  for (int s = 0; s < num_servers_; s++) {
+    size_sums_[static_cast<size_t>(s)] = static_cast<double>(counts_[static_cast<size_t>(s)]);
+  }
+  // config_.target_size stays exactly as the caller set it: defaulting it to
+  // a sampled-view vertex count would flip BalanceAllows into band mode with
+  // a meaningless target and diverge from the reference decide, which sees
+  // the caller's config verbatim.
+}
+
+void RepartitionArena::InitScratch() {
+  topk_.resize(static_cast<size_t>(num_servers_));
+  if (planning_only_) {
+    // Runtime agents plan over sparse sampled views whose live peer and
+    // candidate counts sit far below the k * (servers - 1) worst case (at
+    // 1000 servers that bound would pre-commit gigabytes per agent), so the
+    // scratch grows organically instead. Capacities persist across
+    // ResetPlanning calls, so steady-state rounds still allocate nothing —
+    // only growth rounds pay, and those land in warmup.
+    return;
+  }
   // Pre-size every scratch buffer to its hard cap so steady-state rounds are
   // allocation-free from the first sweep (gated by bench_arena): per-peer
   // candidate counts are bounded by k = candidate_set_size, the number of
@@ -49,8 +97,8 @@ RepartitionArena::RepartitionArena(const CsrGraph* graph, int servers, PairwiseC
     max_degree_ = std::max(max_degree_, static_cast<int32_t>(graph_->DegreeOf(idx)));
   }
   const size_t k = config_.candidate_set_size;
-  const auto peers = static_cast<size_t>(servers - 1);
-  remote_weight_.reserve(static_cast<size_t>(servers));
+  const auto peers = static_cast<size_t>(num_servers_ - 1);
+  remote_weight_.reserve(static_cast<size_t>(num_servers_));
   for (auto& heap : topk_) {
     heap.reserve(k);
   }
@@ -63,14 +111,94 @@ RepartitionArena::RepartitionArena(const CsrGraph* graph, int servers, PairwiseC
   for (auto& c : t_pool_) {
     c.edges.reserve(static_cast<size_t>(max_degree_));
   }
-  plans_.reserve(static_cast<size_t>(servers));
+  plans_.reserve(static_cast<size_t>(num_servers_));
   s_ptrs_.reserve(k);
   t_ptrs_.reserve(k);
   s_heap_.Reserve(k);
   t_heap_.Reserve(k);
   accepted_.reserve(k);
   counter_.reserve(k);
-  cut_cost_ = RecomputeCost();
+}
+
+void RepartitionArena::ExportPeerPlans(ServerId p, std::vector<PeerPlan>* out, ServerId unknown) {
+  BuildPlans(p);
+  out->clear();
+  out->reserve(plans_.size());
+  for (const PlanRef& plan : plans_) {
+    if (plan.peer == unknown) {
+      continue;  // stand-in for unknown locations; the reference planner
+                 // never plans toward it
+    }
+    PeerPlan pp;
+    pp.peer = plan.peer;
+    pp.total_score = plan.total_score;
+    pp.candidates.reserve(plan.count);
+    for (uint32_t i = 0; i < plan.count; i++) {
+      const Candidate& src = s_pool_[plan.first + i];
+      Candidate& dst = pp.candidates.emplace_back();
+      dst.vertex = src.vertex;
+      dst.score = src.score;
+      dst.size = src.size;
+      dst.edges.reserve(src.edges.size());
+      for (const auto& [u, edge] : src.edges) {
+        dst.edges.append_ascending(
+            u, CandidateEdge{edge.weight,
+                             edge.location_hint == unknown ? kNoServer : edge.location_hint});
+      }
+    }
+    out->push_back(std::move(pp));
+  }
+}
+
+void RepartitionArena::DecideOffer(ServerId q, ServerId p, const std::vector<Candidate>& offered,
+                                   double size_p, double size_q, ServerId unknown,
+                                   std::vector<VertexId>* accepted,
+                                   std::vector<VertexId>* counter) {
+  ACTOP_CHECK(planning_only_);
+  ACTOP_CHECK(p != q);
+  // Step 2 of Alg. 1: q's own candidate set toward p, ignoring S (the
+  // reference's plan-toward-p restricted to the one peer that matters).
+  BuildCandidatesToward(q, p);
+  s_ptrs_.clear();
+  for (const Candidate& c : offered) {
+    s_ptrs_.push_back(&c);
+  }
+  // q's perspective on offered candidates: q's own location knowledge
+  // overrides p's hints, falling back to the hint for vertices q has never
+  // sampled or whose location it does not know — exactly the reference
+  // score_s, with `unknown` (the planning stand-in server) translating back
+  // to "no knowledge" like in ExportPeerPlans.
+  auto score_s = [&](const Candidate& c) {
+    double gain = -config_.migration_cost_weight * c.size;
+    for (const auto& [u, edge] : c.edges) {
+      const int32_t idx = graph_->IndexOf(u);
+      ServerId l = idx == CsrGraph::kNoIndex ? kNoServer : loc_[static_cast<size_t>(idx)];
+      if (l == unknown || l == kNoServer) {
+        l = edge.location_hint;
+      }
+      if (l == q) {
+        gain += edge.weight;
+      } else if (l == p) {
+        gain -= edge.weight;
+      }
+    }
+    return gain;
+  };
+  auto score_t = [&](const Candidate& c) { return c.score; };
+
+  s_heap_.Reset();
+  t_heap_.Reset();
+  s_heap_.InitPtrs(s_ptrs_, score_s);
+  t_heap_.InitPtrs(t_ptrs_, score_t);
+
+  // Step 3: joint S0/T0 selection through the shared loop. The runtime
+  // applies the moves via actor migration, so only vertex ids come out.
+  accepted->clear();
+  counter->clear();
+  RunJointSelection(
+      s_heap_, t_heap_, config_, size_p, size_q,
+      [&](VertexId moved, const Candidate*) { accepted->push_back(moved); },
+      [&](VertexId, const Candidate* c) { counter->push_back(c->vertex); });
 }
 
 void RepartitionArena::SetVertexSizes(const std::unordered_map<VertexId, double>& sizes) {
@@ -116,6 +244,10 @@ double RepartitionArena::RecomputeCost() const {
 }
 
 void RepartitionArena::ApplyMoveIndex(int32_t idx, ServerId to) {
+  // Planning-only instances sit on an asymmetric local-view CSR whose cut
+  // bookkeeping would be wrong; the runtime applies moves through actor
+  // migration instead.
+  ACTOP_CHECK(!planning_only_);
   const ServerId from = loc_[static_cast<size_t>(idx)];
   ACTOP_CHECK(from != to);
   // O(deg) incremental cut maintenance: edges into `from` turn cross-server,

@@ -50,6 +50,47 @@ class RepartitionArena {
   // so equal seeds give equal starting assignments.
   RepartitionArena(const CsrGraph* graph, int servers, PairwiseConfig config, uint64_t seed);
 
+  // Planning-only construction: adopts an explicit per-dense-index
+  // assignment (values in [0, servers)) instead of drawing a random
+  // placement, and skips cut initialization — built for the runtime
+  // PartitionAgent, which plans over an asymmetric local-view CSR
+  // (CsrGraph::FromLocalView; remote endpoints carry empty spans) where cut
+  // maintenance would read garbage. Instances built this way may only call
+  // ExportPeerPlans, DecideOffer, ResetPlanning, and the const accessors;
+  // every mutating protocol entry point checks against it.
+  RepartitionArena(const CsrGraph* graph, int servers, PairwiseConfig config,
+                   std::vector<ServerId> assignment);
+
+  // Re-initializes a planning-only instance for a fresh round after the
+  // underlying CsrGraph was rebuilt in place (RebuildFromEdgeList): adopts
+  // the new assignment and config while every scratch buffer keeps its
+  // capacity, so steady-state re-planning allocates nothing.
+  void ResetPlanning(const PairwiseConfig& config, const std::vector<ServerId>& assignment);
+
+  // Runs p's planning pass and copies the ranked per-peer plans out in the
+  // reference PeerPlan format — byte-identical to BuildPeerPlansOrdered over
+  // the same view with ascending-id visit order
+  // (tests/runtime/arena_planner_test.cc). Plans toward `unknown` (the
+  // caller's stand-in server for unknown neighbor locations) are dropped and
+  // candidate-edge hints pointing at it translate back to kNoServer,
+  // mirroring how the reference planner skips unknown-location edges.
+  void ExportPeerPlans(ServerId p, std::vector<PeerPlan>* out, ServerId unknown = kNoServer);
+
+  // Responder side of Alg. 1 for planning-only instances: q (this arena's
+  // own server) decides on requester p's offered candidates without applying
+  // any moves — byte-identical to DecideExchangeOrdered over the same
+  // sampled view (tests/runtime/arena_planner_test.cc). T is q's candidate
+  // set toward p; offered candidates are re-scored with q's own location
+  // knowledge, falling back to p's hints where q knows nothing (`unknown`
+  // translating back to kNoServer as in ExportPeerPlans). S0 vertex ids land
+  // in *accepted, T0 vertex ids in *counter; size_p/size_q mirror the
+  // reference's request-size / TotalSize() inputs. Byte-identity assumes the
+  // BuildView invariant that location knowledge exists only for vertices the
+  // responder actually sampled (all of which are in the frozen graph).
+  void DecideOffer(ServerId q, ServerId p, const std::vector<Candidate>& offered, double size_p,
+                   double size_q, ServerId unknown, std::vector<VertexId>* accepted,
+                   std::vector<VertexId>* counter);
+
   // --- Paper's pairwise exchange (reference policy) ---------------------
   // One protocol round initiated by p: plan, contact peers in ranking
   // order, apply the first productive exchange. Returns vertices moved.
@@ -119,6 +160,9 @@ class RepartitionArena {
   double SizeOfIndex(int32_t idx) const {
     return vsize_.empty() ? 1.0 : vsize_[static_cast<size_t>(idx)];
   }
+  // Pre-sizes every scratch buffer to its hard cap (shared by both
+  // constructors).
+  void InitScratch();
   void ApplyMoveIndex(int32_t idx, ServerId to);
   // Fills plans_ / s_pool_ with p's per-peer candidate plans, sorted by
   // (total_score desc, peer asc). Scratch: invalidated by the next
@@ -148,6 +192,7 @@ class RepartitionArena {
   std::vector<double> size_sums_;   // total size per server
   double cut_cost_ = 0.0;
   int64_t total_migrations_ = 0;
+  bool planning_only_ = false;  // assignment-adopting ctor; no moves allowed
 
   // Recycled scratch (capacities survive across rounds; steady-state rounds
   // allocate nothing).

@@ -619,6 +619,65 @@ ScenarioReport RunHaloLaunch(const ScenarioOptions& opt) {
   return Drive(&engine, &cluster, &halo.clients(), &schedule, spec, opt);
 }
 
+// --- halo_hyperscale ------------------------------------------------------
+// The roadmap's 100x-the-paper scale point as an open-loop SLO scenario:
+// 1000 servers hosting a 10M-player Halo presence fleet under a steady
+// status-request load. Unlike halo_launch this is not an overload story —
+// the offered rate is modest per server — it is a data-plane scale story:
+// the flat directory slabs, activation tables and player records have to
+// hold 10M live actors while the invariant sweeps (which walk every
+// directory entry) stay affordable. Partitioning stays off (the migration
+// plane has its own benches and would dominate a K=1000 run); the thread
+// optimizer runs on every server as in the full system.
+
+ScenarioReport RunHaloHyperscale(const ScenarioOptions& opt) {
+  const int servers = ScaleCount(1000, opt.scale, 4);
+  const int players = ScaleCount(10000000, opt.scale, 2000);
+  const double rate = ScaleRate(20000.0, opt.scale, 50.0);
+
+  ClusterConfig cfg = BaseCluster(servers, opt.seed);
+  cfg.enable_thread_optimization = true;
+  cfg.thread_controller.period = Seconds(1);
+  cfg.thread_controller.eta = 100e-6;
+  ShardedEngine engine(EngineConfigFor(opt, cfg));
+  Cluster cluster(&engine, cfg);
+
+  HaloWorkloadConfig wl;
+  wl.target_players = players;
+  wl.idle_pool_target = std::max(8, players / 100);
+  wl.request_rate = rate;  // unused (external clients)
+  wl.request_bytes = 800;
+  wl.status_bytes = 1600;
+  wl.update_bytes = 1200;
+  wl.client_timeout = kClientTimeout;
+  wl.external_clients = true;
+  wl.seed = opt.seed ^ 0x9999;
+  HaloWorkload halo(&cluster, wl);
+  halo.Start();
+  cluster.StartOptimizers();
+
+  // Short phases: the population, not the window length, is the point. The
+  // warm-up covers the initial game-formation wave (first-generation game
+  // endings desynchronize from t=1s).
+  const SimDuration warmup = Phase(opt.scale, 6, 3);
+  const SimDuration measure = Phase(opt.scale, 12, 10);
+  RateSchedule schedule(rate);
+
+  DriveSpec spec;
+  spec.name = "halo_hyperscale";
+  spec.simulated_users = static_cast<uint64_t>(players);
+  spec.warmup = warmup;
+  spec.measure = measure;
+  // Each instant sweep walks every directory entry — 10M at full scale — so
+  // check at a coarser period than the default 2 s.
+  spec.invariant_period = Seconds(4);
+  spec.slo.p99_ms = 150.0;
+  spec.slo.max_timeout_rate = 0.01;
+  spec.slo.min_goodput_fraction = 0.98;
+  spec.on_measure_end = [&halo] { halo.Stop(); };
+  return Drive(&engine, &cluster, &halo.clients(), &schedule, spec, opt);
+}
+
 }  // namespace
 
 const std::vector<ScenarioDef>& ScenarioRegistry() {
@@ -629,6 +688,8 @@ const std::vector<ScenarioDef>& ScenarioRegistry() {
       {"viral_social", "power-law fan-out with viral repost cascades", RunViralSocial},
       {"reconnect_storm", "IoT fleet with synchronized reconnect storms", RunReconnectStorm},
       {"halo_launch", "Halo presence (ActOp on) under a launch surge", RunHaloLaunch},
+      {"halo_hyperscale", "1000-server / 10M-player Halo fleet at steady load",
+       RunHaloHyperscale},
   };
   return kScenarios;
 }

@@ -22,6 +22,7 @@
 //   viral_social     power-law fan-out with viral repost cascades
 //   reconnect_storm  IoT fleet with synchronized reconnect storms
 //   halo_launch      Halo presence (both ActOp optimizers on), launch surge
+//   halo_hyperscale  1000-server / 10M-player Halo fleet at steady load
 
 #ifndef SRC_LOAD_SCENARIOS_H_
 #define SRC_LOAD_SCENARIOS_H_

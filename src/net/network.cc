@@ -28,6 +28,8 @@ Network::Network(ShardedEngine* engine, NetworkConfig config)
     lanes_[static_cast<size_t>(i)].sim = &engine->shard(i);
   }
   outboxes_.resize(static_cast<size_t>(shards) * static_cast<size_t>(shards));
+  pending_ = std::make_unique<PendingInbox[]>(static_cast<size_t>(shards));
+  pending_src_.resize(static_cast<size_t>(shards) * static_cast<size_t>(shards));
   engine_->set_exchange_hook([this](int dst) { DrainInbound(dst); });
 }
 
@@ -101,6 +103,15 @@ void Network::Send(NodeId from, NodeId to, uint32_t bytes, std::shared_ptr<void>
   std::vector<OutMsg>& box =
       outboxes_[static_cast<size_t>(src_shard) * static_cast<size_t>(shards()) +
                 static_cast<size_t>(dst_shard)];
+  if (box.empty()) {
+    // First message this window for (src, dst): register src on dst's
+    // worklist. The reservation is a distinct slot per source (only the
+    // counter is shared), and the window barrier orders it before the drain.
+    const uint32_t i =
+        pending_[static_cast<size_t>(dst_shard)].count.fetch_add(1, std::memory_order_relaxed);
+    pending_src_[static_cast<size_t>(dst_shard) * static_cast<size_t>(shards()) +
+                 static_cast<size_t>(i)] = src_shard;
+  }
   box.push_back(OutMsg{lane.sim->now() + delay, lane.next_out_seq++, from, to, bytes,
                        std::move(msg)});
 }
@@ -121,25 +132,29 @@ void Network::Deliver(int shard, uint32_t slot) {
 
 void Network::DrainInbound(int dst) {
   Lane& lane = lanes_[static_cast<size_t>(dst)];
+  const int k = shards();
+  // Worklist instead of an O(K) sweep: only sources that pushed a first
+  // message this window appear. The relaxed load is safe — the window
+  // barrier orders every registration and outbox write before this drain.
+  PendingInbox& pending = pending_[static_cast<size_t>(dst)];
+  const uint32_t n = pending.count.load(std::memory_order_relaxed);
+  if (n == 0) {
+    return;
+  }
+  pending.count.store(0, std::memory_order_relaxed);
+  int32_t* srcs = &pending_src_[static_cast<size_t>(dst) * static_cast<size_t>(k)];
+  // Registration order is racy (whichever source sent first); sorting
+  // ascending restores the deterministic gather order.
+  std::sort(srcs, srcs + n);
   std::vector<OutMsg>& scratch = lane.inbound_scratch;
   scratch.clear();
-  const int k = shards();
-  // Gather per-src runs in src order; each run is already seq-ordered (and
-  // therefore when-ordered within equal timestamps as the sender emitted
-  // them). The stable sort below only has to order across sources.
-  for (int src = 0; src < k; src++) {
-    if (src == dst) {
-      continue;
-    }
+  for (uint32_t i = 0; i < n; i++) {
     std::vector<OutMsg>& box =
-        outboxes_[static_cast<size_t>(src) * static_cast<size_t>(k) + static_cast<size_t>(dst)];
+        outboxes_[static_cast<size_t>(srcs[i]) * static_cast<size_t>(k) + static_cast<size_t>(dst)];
     for (OutMsg& m : box) {
       scratch.push_back(std::move(m));
     }
     box.clear();
-  }
-  if (scratch.empty()) {
-    return;
   }
   // Deterministic merge order: (when, src_shard, seq). The gather above
   // appended sources in ascending src order with ascending seq within each,
@@ -147,11 +162,58 @@ void Network::DrainInbound(int dst) {
   // materializing src ids per message.
   std::stable_sort(scratch.begin(), scratch.end(),
                    [](const OutMsg& a, const OutMsg& b) { return a.when < b.when; });
+  // Merge the batch into the staged run. Compacting the consumed prefix
+  // first keeps the merge over live messages only. inplace_merge is stable
+  // with first-range-first ties, so earlier drains sort ahead of later ones
+  // at equal timestamps — the same order per-message scheduling produced.
+  if (lane.staged_head > 0) {
+    lane.staged.erase(lane.staged.begin(),
+                      lane.staged.begin() + static_cast<ptrdiff_t>(lane.staged_head));
+    lane.staged_head = 0;
+  }
+  const auto mid = static_cast<ptrdiff_t>(lane.staged.size());
   for (OutMsg& m : scratch) {
-    const uint32_t slot = AcquireSlot(lane, m.from, m.to, m.bytes, std::move(m.msg));
-    lane.sim->ScheduleAt(m.when, [this, dst, slot] { Deliver(dst, slot); });
+    lane.staged.push_back(std::move(m));
   }
   scratch.clear();
+  std::inplace_merge(lane.staged.begin(), lane.staged.begin() + mid, lane.staged.end(),
+                     [](const OutMsg& a, const OutMsg& b) { return a.when < b.when; });
+  // Pin the cursor at the head: one pending heap event per lane covers the
+  // whole staged run.
+  const SimTime head = lane.staged.front().when;
+  if (lane.cursor_event == 0) {
+    lane.cursor_when = head;
+    lane.cursor_event = lane.sim->ScheduleAt(head, [this, dst] { CursorDeliver(dst); });
+  } else if (head < lane.cursor_when) {
+    const bool moved = lane.sim->Reschedule(lane.cursor_event, head);
+    ACTOP_CHECK(moved);
+    lane.cursor_when = head;
+  }
+}
+
+void Network::CursorDeliver(int dst) {
+  Lane& lane = lanes_[static_cast<size_t>(dst)];
+  lane.cursor_event = 0;
+  const SimTime now = lane.sim->now();
+  // Deliver every staged message due at this instant back to back: one heap
+  // event per distinct arrival time instead of one per message. Handlers may
+  // Send (touching outboxes and the in-flight slab) but never mutate the
+  // staged run — drains only happen at window barriers.
+  while (lane.staged_head < lane.staged.size() && lane.staged[lane.staged_head].when == now) {
+    OutMsg& m = lane.staged[lane.staged_head++];
+    std::shared_ptr<void> msg = std::move(m.msg);
+    const NodeId from = m.from;
+    const NodeId to = m.to;
+    const uint32_t bytes = m.bytes;
+    nodes_[static_cast<size_t>(to)](from, bytes, std::move(msg));
+  }
+  if (lane.staged_head < lane.staged.size()) {
+    lane.cursor_when = lane.staged[lane.staged_head].when;
+    lane.cursor_event = lane.sim->ScheduleAt(lane.cursor_when, [this, dst] { CursorDeliver(dst); });
+  } else {
+    lane.staged.clear();
+    lane.staged_head = 0;
+  }
 }
 
 }  // namespace actop

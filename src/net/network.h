@@ -19,17 +19,27 @@
 // its own in-flight slab, counters, and outbound sequence space. A message
 // between nodes on the same shard takes exactly the serial path on that
 // shard's Simulation. A cross-shard message is appended to the per-(src,dst)
-// outbox with its precomputed arrival time; the engine's window barrier
-// drains each destination's inboxes, merges them in (when, src_shard, seq)
-// order — deterministic for a fixed shard count, independent of thread
-// scheduling — and schedules them on the destination heap. The fixed
-// one-way latency is the engine's lookahead: every cross-shard arrival time
-// is at least one latency after its send, hence at or beyond the window end,
-// so draining at barriers can never deliver into a window already running.
+// outbox with its precomputed arrival time; the first push into an empty
+// outbox also registers the source on the destination's pending-inbox
+// worklist (an atomic slot reservation), so the per-window drain visits only
+// sources that actually sent — O(active sources), not O(K) — which matters
+// when K reaches the hundreds. At the window barrier each destination sorts
+// its worklist (ascending src restores the deterministic gather order),
+// gathers the outboxes, and merges the batch into a per-lane `staged` run
+// ordered by (when, drain epoch, src_shard, seq) — deterministic for a fixed
+// shard count, independent of thread scheduling. Instead of one heap event
+// per message, a single cursor event per lane delivers every staged message
+// due at its instant and reschedules itself to the next distinct arrival
+// time, so a drain of B messages costs one schedule (or one Reschedule when
+// a new head arrives earlier), not B. The fixed one-way latency is the
+// engine's lookahead: every cross-shard arrival time is at least one latency
+// after its send, hence at or beyond the window end, so draining at barriers
+// can never deliver into a window already running.
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -146,14 +156,34 @@ class Network {
     uint64_t delayed_messages = 0;
     // Merge scratch for DrainInbound; reused every window.
     std::vector<OutMsg> inbound_scratch;
+    // Inbound messages merged but not yet delivered, ordered by `when`
+    // (ties: drain epoch, then src, then seq). staged[staged_head..) are
+    // live; the consumed prefix is compacted away at the next drain. One
+    // cursor event per lane walks this run: whenever staged is non-empty,
+    // cursor_event is pending at staged[staged_head].when (== cursor_when).
+    std::vector<OutMsg> staged;
+    size_t staged_head = 0;
+    EventId cursor_event = 0;
+    SimTime cursor_when = 0;
+  };
+
+  // Destination-side worklist of sources with a non-empty outbox this
+  // window. Sources reserve distinct slots with a relaxed fetch_add (the
+  // window barriers provide all ordering); the drain sorts the slots.
+  struct alignas(64) PendingInbox {
+    std::atomic<uint32_t> count{0};
   };
 
   uint32_t AcquireSlot(Lane& lane, NodeId from, NodeId to, uint32_t bytes,
                        std::shared_ptr<void> msg);
   void Deliver(int shard, uint32_t slot);
   // Engine exchange hook: runs on shard `dst`'s worker at the window
-  // barrier; merges all inbound outboxes into dst's heap.
+  // barrier; merges the registered inbound outboxes into dst's staged run
+  // and pins the cursor event at its head.
   void DrainInbound(int dst);
+  // Cursor event body: delivers every staged message due at the current
+  // instant, then reschedules for the next distinct arrival time.
+  void CursorDeliver(int dst);
 
   uint64_t SumLanes(uint64_t Lane::* field) const {
     uint64_t total = 0;
@@ -171,6 +201,11 @@ class Network {
   // outboxes_[src * shards + dst], dst != src. Written by src's worker
   // during the window, drained by dst's worker at the barrier.
   std::vector<std::vector<OutMsg>> outboxes_;
+  // pending_[dst] counts the live entries in pending_src_[dst * shards ..];
+  // each entry names a source whose outbox to dst is non-empty. Distinct
+  // slots are written by distinct sources, so only the counter is atomic.
+  std::unique_ptr<PendingInbox[]> pending_;
+  std::vector<int32_t> pending_src_;
   FaultFn fault_injector_;
 };
 

@@ -32,7 +32,7 @@ void Cluster::Init() {
   state_seen_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; s++) {
     metrics_.push_back(std::make_unique<ClusterMetrics>());
-    state_seen_.push_back(std::make_unique<std::unordered_set<ActorId>>());
+    state_seen_.push_back(std::make_unique<FlatHashMap<ActorId, uint8_t>>());
   }
 
   for (int i = 0; i < config_.num_servers; i++) {
@@ -138,11 +138,10 @@ NodeId Cluster::AddClientNode(Network::DeliverFn deliver) {
 
 Actor* Cluster::GetOrCreateActor(ActorId actor, int shard) {
   if (parallel()) {
-    state_seen_[static_cast<size_t>(shard)]->insert(actor);
+    state_seen_[static_cast<size_t>(shard)]->Insert(actor, 1);
     std::lock_guard<std::mutex> lock(state_mu_);
-    auto it = state_store_.find(actor);
-    if (it != state_store_.end()) {
-      return it->second.get();
+    if (auto* slot = state_store_.Find(actor)) {
+      return slot->get();
     }
     const ActorType type = ActorTypeOf(actor);
     auto type_it = actor_types_.find(type);
@@ -150,12 +149,11 @@ Actor* Cluster::GetOrCreateActor(ActorId actor, int shard) {
     auto instance = type_it->second.factory(actor);
     ACTOP_CHECK(instance != nullptr);
     Actor* raw = instance.get();
-    state_store_.emplace(actor, std::move(instance));
+    state_store_.Insert(actor, std::move(instance));
     return raw;
   }
-  auto it = state_store_.find(actor);
-  if (it != state_store_.end()) {
-    return it->second.get();
+  if (auto* slot = state_store_.Find(actor)) {
+    return slot->get();
   }
   const ActorType type = ActorTypeOf(actor);
   auto type_it = actor_types_.find(type);
@@ -163,16 +161,16 @@ Actor* Cluster::GetOrCreateActor(ActorId actor, int shard) {
   auto instance = type_it->second.factory(actor);
   ACTOP_CHECK(instance != nullptr);
   Actor* raw = instance.get();
-  state_store_.emplace(actor, std::move(instance));
+  state_store_.Insert(actor, std::move(instance));
   return raw;
 }
 
 bool Cluster::HasActorState(ActorId actor) const {
   if (parallel()) {
     std::lock_guard<std::mutex> lock(state_mu_);
-    return state_store_.contains(actor);
+    return state_store_.Find(actor) != nullptr;
   }
-  return state_store_.contains(actor);
+  return state_store_.Find(actor) != nullptr;
 }
 
 bool Cluster::HasActorStateForPlacement(ActorId actor, int shard) const {
@@ -180,9 +178,9 @@ bool Cluster::HasActorStateForPlacement(ActorId actor, int shard) const {
     // Answer from the shard's own history: whether another shard created
     // this actor earlier in the same window must not influence (or
     // un-determinize) this shard's placement choice.
-    return state_seen_[static_cast<size_t>(shard)]->contains(actor);
+    return state_seen_[static_cast<size_t>(shard)]->Find(actor) != nullptr;
   }
-  return state_store_.contains(actor);
+  return state_store_.Find(actor) != nullptr;
 }
 
 const CostModel& Cluster::CostsFor(ActorId actor) const {
@@ -288,12 +286,17 @@ void Cluster::CrashServer(ServerId id) {
 int Cluster::ChurnDirectoryShard(ServerId id) {
   ACTOP_CHECK(id >= 0 && id < static_cast<ServerId>(servers_.size()));
   // Copy the entries first: DeactivateActor mutates the shard when the owner
-  // is also the home.
-  const auto entries = servers_[static_cast<size_t>(id)]->directory_shard().entries();
+  // is also the home. ForEach walks in slot-index order, so the churn order
+  // replays deterministically for a fixed seed.
+  churn_scratch_.clear();
+  servers_[static_cast<size_t>(id)]->directory_shard().ForEach(
+      [this](ActorId actor, const DirEntry& entry) {
+        churn_scratch_.push_back({actor, entry.owner});
+      });
   int churned = 0;
-  for (const auto& [actor, entry] : entries) {
-    if (entry.owner >= 0 && entry.owner < static_cast<ServerId>(servers_.size()) &&
-        servers_[static_cast<size_t>(entry.owner)]->DeactivateActor(actor)) {
+  for (const auto& [actor, owner] : churn_scratch_) {
+    if (owner >= 0 && owner < static_cast<ServerId>(servers_.size()) &&
+        servers_[static_cast<size_t>(owner)]->DeactivateActor(actor)) {
       churned++;
     }
   }

@@ -26,8 +26,10 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
+
+#include "src/common/flat_hash_map.h"
 
 #include "src/actor/actor.h"
 #include "src/common/ids.h"
@@ -171,13 +173,20 @@ class Cluster {
   std::unordered_map<ActorType, ActorTypeInfo> actor_types_;
 
   // Guards state_store_ in parallel mode (activation creation can race
-  // across shards); uncontended in serial mode.
+  // across shards); uncontended in serial mode. FlatHashMap: one flat slot
+  // per actor instead of a heap node + bucket chain — at 10M actors the
+  // per-entry overhead is what dominates the footprint. Never iterated, and
+  // unique_ptr values move safely through rehash.
   mutable std::mutex state_mu_;
-  std::unordered_map<ActorId, std::unique_ptr<Actor>> state_store_;
+  FlatHashMap<ActorId, std::unique_ptr<Actor>> state_store_;
   // Per-shard sets of actors each shard has created or re-activated; backs
   // HasActorStateForPlacement in parallel mode. Padded via separate
-  // allocations (one set per shard, touched only by that shard).
-  std::vector<std::unique_ptr<std::unordered_set<ActorId>>> state_seen_;
+  // allocations (one set per shard, touched only by that shard). Value is a
+  // dummy byte — FlatHashMap as a flat set.
+  std::vector<std::unique_ptr<FlatHashMap<ActorId, uint8_t>>> state_seen_;
+
+  // Scratch for ChurnDirectoryShard's copy-then-deactivate walk.
+  std::vector<std::pair<ActorId, ServerId>> churn_scratch_;
 
   // One metrics instance per shard; shard workers write only their own.
   std::vector<std::unique_ptr<ClusterMetrics>> metrics_;

@@ -1,8 +1,11 @@
 #include "src/runtime/partition_agent.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/core/csr_graph.h"
+#include "src/core/repartition_arena.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/server.h"
 
@@ -97,6 +100,66 @@ PairwiseConfig PartitionAgent::CurrentPairwiseConfig() const {
   return cfg;
 }
 
+std::vector<VertexId> PartitionAgent::SampledOrder(const LocalGraphView& view) {
+  std::vector<VertexId> order;
+  order.reserve(view.adjacency.size());
+  for (const auto& [v, adj] : view.adjacency) {
+    order.push_back(v);
+  }
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+void PartitionAgent::RefreshPlanGraph() {
+  // Freeze the samples straight into the CSR, skipping the LocalGraphView
+  // hash maps whose per-round construction dominated the control plane's
+  // allocation profile. The edge list mirrors BuildView's filtering and the
+  // assignment mirrors its location resolution (active -> here, else cache,
+  // else last-seen, else unknown), so the frozen graph is the same view the
+  // reference planner would have materialized.
+  plan_edges_.clear();
+  for (const auto& entry : edges_.Entries()) {
+    if (!server_->IsActive(entry.key.local)) {
+      continue;  // migrated away or deactivated; decay will reclaim it
+    }
+    plan_edges_.push_back(
+        CsrEdge{entry.key.local, entry.key.peer, static_cast<double>(entry.count)});
+  }
+  // Space-Saving keys are unique (local, peer) pairs, so sorting yields the
+  // strictly-increasing sequence RebuildFromEdgeList requires.
+  std::sort(plan_edges_.begin(), plan_edges_.end(), [](const CsrEdge& a, const CsrEdge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  plan_graph_.RebuildFromEdgeList(plan_edges_);
+
+  const auto unknown = static_cast<ServerId>(cluster_->num_servers());
+  plan_assignment_.resize(static_cast<size_t>(plan_graph_.num_vertices()));
+  for (int32_t i = 0; i < plan_graph_.num_vertices(); i++) {
+    const VertexId v = plan_graph_.IdOf(i);
+    ServerId loc;
+    if (server_->IsActive(v)) {
+      loc = server_->id();
+    } else {
+      loc = server_->location_cache().Peek(v);
+      if (loc == kNoServer) {
+        if (const ServerId* seen = last_seen_.Find(v)) {
+          loc = *seen;
+        }
+      }
+      if (loc == kNoServer) {
+        loc = unknown;
+      }
+    }
+    plan_assignment_[static_cast<size_t>(i)] = loc;
+  }
+  if (plan_arena_ == nullptr) {
+    plan_arena_ = std::make_unique<RepartitionArena>(
+        &plan_graph_, cluster_->num_servers() + 1, CurrentPairwiseConfig(), plan_assignment_);
+  } else {
+    plan_arena_->ResetPlanning(CurrentPairwiseConfig(), plan_assignment_);
+  }
+}
+
 void PartitionAgent::RunRound() {
   if (exchange_in_flight_) {
     // An exchange request or its response can be shed by an overloaded
@@ -117,8 +180,14 @@ void PartitionAgent::RunRound() {
     next_plan_ = 0;
     return;
   }
-  const LocalGraphView view = BuildView();
-  pending_plans_ = BuildPeerPlans(view, CurrentPairwiseConfig());
+  if (config_.use_arena_planner) {
+    RefreshPlanGraph();
+    plan_arena_->ExportPeerPlans(server_->id(), &pending_plans_,
+                                 static_cast<ServerId>(cluster_->num_servers()));
+  } else {
+    const LocalGraphView view = BuildView();
+    pending_plans_ = BuildPeerPlansOrdered(view, CurrentPairwiseConfig(), SampledOrder(view));
+  }
   if (static_cast<int>(pending_plans_.size()) > config_.max_peers_per_round) {
     pending_plans_.resize(static_cast<size_t>(config_.max_peers_per_round));
   }
@@ -161,25 +230,45 @@ void PartitionAgent::OnExchangeRequest(ServerId from, const PartitionExchangeReq
     server_->SendControl(from, std::move(response));
     return;
   }
-  // Translate into the algorithm's struct through a reused scratch: the
-  // copy-assign recycles the candidate buffers from the previous request
-  // instead of deep-copying into fresh vectors every time.
-  exchange_scratch_.from = from;
-  exchange_scratch_.from_num_vertices = request.from_num_vertices;
-  exchange_scratch_.from_total_size = -1.0;
-  exchange_scratch_.candidates = request.candidates;
-  const LocalGraphView view = BuildView();
-  ExchangeDecision decision = DecideExchange(view, exchange_scratch_, CurrentPairwiseConfig());
+  if (config_.use_arena_planner) {
+    // The arena path reads the wire candidates in place and reuses every
+    // planning and output buffer; only the response payload allocates.
+    RefreshPlanGraph();
+    plan_arena_->DecideOffer(server_->id(), from, request.candidates,
+                             static_cast<double>(request.from_num_vertices),
+                             static_cast<double>(server_->num_activations()),
+                             static_cast<ServerId>(cluster_->num_servers()), &accepted_scratch_,
+                             &counter_scratch_);
+  } else {
+    // Translate into the algorithm's struct through a reused scratch: the
+    // copy-assign recycles the candidate buffers from the previous request
+    // instead of deep-copying into fresh vectors every time.
+    exchange_scratch_.from = from;
+    exchange_scratch_.from_num_vertices = request.from_num_vertices;
+    exchange_scratch_.from_total_size = -1.0;
+    exchange_scratch_.candidates = request.candidates;
+    // The ordered decide keeps the responder's counter-candidate set
+    // byte-stable across standard-library versions and identical between the
+    // reference and arena planning backends.
+    const LocalGraphView view = BuildView();
+    ExchangeDecision decision = DecideExchangeOrdered(view, exchange_scratch_,
+                                                      CurrentPairwiseConfig(), SampledOrder(view));
+    accepted_scratch_.assign(decision.accepted.begin(), decision.accepted.end());
+    counter_scratch_.clear();
+    for (const Candidate& c : decision.counter_offer) {
+      counter_scratch_.push_back(c.vertex);
+    }
+  }
 
   // Transfer T0 to the requester; vertices busy with in-flight calls are
   // skipped this round (they will surface again if the edge stays heavy).
   int migrated = 0;
-  for (const Candidate& c : decision.counter_offer) {
-    if (server_->MigrateActor(c.vertex, from)) {
+  for (VertexId v : counter_scratch_) {
+    if (server_->MigrateActor(v, from)) {
       migrated++;
     }
   }
-  response.accepted = std::move(decision.accepted);
+  response.accepted.assign(accepted_scratch_.begin(), accepted_scratch_.end());
   if (!response.accepted.empty() || migrated > 0) {
     last_exchange_ = sim_->now();
   }

@@ -17,7 +17,9 @@
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/sim_time.h"
+#include "src/core/csr_graph.h"
 #include "src/core/pairwise_partition.h"
+#include "src/core/repartition_arena.h"
 #include "src/core/space_saving.h"
 #include "src/runtime/message.h"
 #include "src/sim/simulation.h"
@@ -46,6 +48,18 @@ struct PartitionAgentConfig {
   // CPU charged to the worker stage per round for candidate-set computation,
   // per sampled edge (models the O(V log k) scan of §4.2).
   SimDuration plan_compute_per_edge = Nanos(120);
+  // Plans and decides rounds through the flat CSR repartitioning arena
+  // (src/core/repartition_arena.h) instead of the map-based reference
+  // planner: the sampled edges are frozen straight into a persistent
+  // CsrGraph (no LocalGraphView hash maps) and scanned linearly, with every
+  // planning buffer reused across rounds — steady-state control-plane work
+  // allocates only the plan and response payloads that go onto the wire
+  // (the fig10b allocs/event ratchet counts on this). Decisions are
+  // byte-identical to the reference path
+  // (tests/runtime/arena_planner_test.cc) because both visit local vertices
+  // in ascending-id order and the agent's edge weights are integer sample
+  // counts (exact in double regardless of summation order).
+  bool use_arena_planner = false;
 };
 
 class PartitionAgent {
@@ -87,6 +101,14 @@ class PartitionAgent {
   void TryNextPeer();
   void MigrateAccepted(ServerId dest, const std::vector<VertexId>& vertices);
   PairwiseConfig CurrentPairwiseConfig() const;
+  // The canonical vertex-visit order for this view: sampled local vertices
+  // ascending by id (mirrors PartitionTestbed::SampledMembers).
+  static std::vector<VertexId> SampledOrder(const LocalGraphView& view);
+  // Arena backend only: refreezes the current samples into plan_graph_ /
+  // plan_arena_ (see the member comment). Resolves each vertex's location
+  // exactly as BuildView does, with the stand-in server one past the
+  // cluster's real ids for unknown locations.
+  void RefreshPlanGraph();
 
   Simulation* sim_;
   Cluster* cluster_;
@@ -99,8 +121,20 @@ class PartitionAgent {
   // never iterated, so the open-addressing map keeps it off the heap.
   FlatHashMap<ActorId, ServerId> last_seen_;
   // Reused across OnExchangeRequest calls so translating the wire request
-  // into the algorithm's struct recycles the candidate buffers.
+  // into the algorithm's struct recycles the candidate buffers (reference
+  // planning path only; the arena path reads the wire request directly).
   ExchangeRequest exchange_scratch_;
+
+  // Persistent arena-planner state (use_arena_planner): each round the
+  // sampled edges refreeze into plan_graph_ in place and plan_arena_
+  // re-initializes over it, all buffers keeping their capacity — after
+  // warmup neither planning nor deciding allocates beyond wire payloads.
+  CsrGraph plan_graph_;
+  std::unique_ptr<RepartitionArena> plan_arena_;
+  std::vector<CsrEdge> plan_edges_;
+  std::vector<ServerId> plan_assignment_;
+  std::vector<VertexId> accepted_scratch_;
+  std::vector<VertexId> counter_scratch_;
 
   EventId round_timer_ = 0;
   EventId decay_timer_ = 0;

@@ -205,7 +205,7 @@ void Server::HandleControl(const Envelope& env, NodeId from) {
 
 void Server::RouteCall(std::shared_ptr<Envelope> env) {
   const ActorId target = env->target;
-  if (activations_.contains(target)) {
+  if (activations_.Contains(target)) {
     DeliverLocalCall(std::move(env));
     return;
   }
@@ -331,12 +331,10 @@ void Server::OnDirectoryAnswer(ActorId actor, ServerId owner, uint64_t token) {
 
 void Server::ActivateAndDeliver(std::shared_ptr<Envelope> env, uint64_t token) {
   const ActorId target = env->target;
-  if (!activations_.contains(target)) {
-    Activation act;
+  if (!activations_.Contains(target)) {
+    Activation& act = activations_.Create(target);
     act.instance = cluster_->GetOrCreateActor(target, shard_);
-    act.activation_pending = true;
     act.dir_token = token;
-    activations_.emplace(target, std::move(act));
     activations_started_++;
   }
   DeliverLocalCall(std::move(env));
@@ -349,9 +347,9 @@ void Server::ForwardCall(std::shared_ptr<Envelope> env, ServerId dest) {
 }
 
 void Server::DeliverLocalCall(std::shared_ptr<Envelope> env) {
-  auto it = activations_.find(env->target);
-  ACTOP_CHECK(it != activations_.end());
-  Activation& act = it->second;
+  Activation* found = activations_.Find(env->target);
+  ACTOP_CHECK(found != nullptr);
+  Activation& act = *found;
   if (act.busy) {
     act.mailbox.push_back(std::move(env));
     return;
@@ -361,9 +359,9 @@ void Server::DeliverLocalCall(std::shared_ptr<Envelope> env) {
 }
 
 void Server::StartTurn(ActorId actor, std::shared_ptr<Envelope> env) {
-  auto it = activations_.find(actor);
-  ACTOP_CHECK(it != activations_.end());
-  Activation& act = it->second;
+  Activation* found = activations_.Find(actor);
+  ACTOP_CHECK(found != nullptr);
+  Activation& act = *found;
   ACTOP_CHECK(!act.busy);
   act.busy = true;
   act.open_contexts++;
@@ -389,12 +387,15 @@ void Server::StartTurn(ActorId actor, std::shared_ptr<Envelope> env) {
   // envelope so the capture stays inline in the event engine.
   ev.done = [this, env = std::move(env), epoch]() mutable {
     const ActorId actor = env->target;
-    auto act_it = activations_.find(actor);
-    if (epoch != crash_epoch_ || act_it == activations_.end()) {
+    Activation* act = activations_.Find(actor);
+    if (epoch != crash_epoch_ || act == nullptr) {
       return;  // server crashed while the turn was queued
     }
+    // Hoist the instance pointer: OnCall may activate other actors, which
+    // can grow the activation slab and invalidate `act`.
+    Actor* instance = act->instance;
     auto ctx = MakePooled<ServerCallContext>(CallContextBlockCache(), this, std::move(env));
-    act_it->second.instance->OnCall(*ctx);
+    instance->OnCall(*ctx);
     if (!ctx->replied()) {
       // The actor will Reply from a sub-call continuation; keep the context
       // alive until then.
@@ -418,11 +419,11 @@ void Server::StartTurn(ActorId actor, std::shared_ptr<Envelope> env) {
 }
 
 void Server::FinishTurn(ActorId actor) {
-  auto it = activations_.find(actor);
-  if (it == activations_.end()) {
+  Activation* found = activations_.Find(actor);
+  if (found == nullptr) {
     return;
   }
-  Activation& act = it->second;
+  Activation& act = *found;
   ACTOP_CHECK(act.busy);
   act.busy = false;
   if (!act.mailbox.empty()) {
@@ -449,7 +450,7 @@ void Server::IssueCall(ActorId from_actor, ActorId target, MethodId method, uint
   env->created_at = sim_->now();
   env->via_network = false;
 
-  const bool local = activations_.contains(target);
+  const bool local = activations_.Contains(target);
   ServerId dest_guess = local ? id_ : location_cache_.Peek(target);
   NoteAppSend(from_actor, target, dest_guess, !local);
 
@@ -463,9 +464,8 @@ void Server::IssueCall(ActorId from_actor, ActorId target, MethodId method, uint
     pending.remote = !local;
     pending_calls_.Insert(seq, std::move(pending));
     timeout_queue_.push_back({sim_->now() + config_.call_timeout, seq});
-    auto act_it = activations_.find(from_actor);
-    if (act_it != activations_.end()) {
-      act_it->second.pending_subcalls++;
+    if (Activation* act = activations_.Find(from_actor)) {
+      act->pending_subcalls++;
     }
   } else {
     env->call_id = CallId{node_, 0};  // one-way: no response expected
@@ -474,10 +474,9 @@ void Server::IssueCall(ActorId from_actor, ActorId target, MethodId method, uint
 }
 
 void Server::CompleteReply(ActorId from_actor, const Envelope& original_call, uint32_t bytes) {
-  auto act_it = activations_.find(from_actor);
-  if (act_it != activations_.end()) {
-    ACTOP_CHECK(act_it->second.open_contexts > 0);
-    act_it->second.open_contexts--;
+  if (Activation* act = activations_.Find(from_actor)) {
+    ACTOP_CHECK(act->open_contexts > 0);
+    act->open_contexts--;
   }
   if (original_call.call_id.seq == 0) {
     return;  // one-way call: the reply is dropped
@@ -519,10 +518,9 @@ void Server::HandleResponse(std::shared_ptr<Envelope> env) {
   PendingCall pending = std::move(*found);
   pending_calls_.Erase(env->call_id.seq);
 
-  auto act_it = activations_.find(pending.issuer);
-  if (act_it != activations_.end()) {
-    ACTOP_CHECK(act_it->second.pending_subcalls > 0);
-    act_it->second.pending_subcalls--;
+  if (Activation* act = activations_.Find(pending.issuer)) {
+    ACTOP_CHECK(act->pending_subcalls > 0);
+    act->pending_subcalls--;
   }
   const SimDuration latency = sim_->now() - pending.issued_at;
   if (call_latency_observer_) {
@@ -643,27 +641,24 @@ void Server::NoteAppSend(ActorId from, ActorId to, ServerId dest_server, bool re
 std::vector<ActorId> Server::ActiveActors() const {
   std::vector<ActorId> out;
   out.reserve(activations_.size());
-  for (const auto& [actor, act] : activations_) {
-    out.push_back(actor);
-  }
+  activations_.ForEach([&out](ActorId actor, const Activation&) { out.push_back(actor); });
   return out;
 }
 
 bool Server::IsMigratable(ActorId actor) const {
-  auto it = activations_.find(actor);
-  if (it == activations_.end()) {
+  const Activation* act = activations_.Find(actor);
+  if (act == nullptr) {
     return false;
   }
-  const Activation& act = it->second;
-  return !act.busy && act.mailbox.empty() && act.open_contexts == 0 &&
-         act.pending_subcalls == 0;
+  return !act->busy && act->mailbox.empty() && act->open_contexts == 0 &&
+         act->pending_subcalls == 0;
 }
 
 void Server::DropActivationAndUnregister(ActorId actor) {
-  auto it = activations_.find(actor);
-  ACTOP_CHECK(it != activations_.end());
-  const uint64_t token = it->second.dir_token;
-  activations_.erase(it);
+  Activation* act = activations_.Find(actor);
+  ACTOP_CHECK(act != nullptr);
+  const uint64_t token = act->dir_token;
+  activations_.Erase(actor);
   const ServerId home = DirectoryHomeOf(actor, cluster_->num_servers());
   if (home == id_) {
     directory_shard_.Unregister(actor, id_, token);
@@ -700,19 +695,17 @@ bool Server::DeactivateActor(ActorId actor) {
 }
 
 void Server::ForceActivateForTest(ActorId actor) {
-  if (activations_.contains(actor)) {
+  if (activations_.Contains(actor)) {
     return;
   }
-  Activation act;
+  Activation& act = activations_.Create(actor);
   act.instance = cluster_->GetOrCreateActor(actor, shard_);
-  act.activation_pending = true;
-  activations_.emplace(actor, std::move(act));
   activations_started_++;
 }
 
 void Server::Crash() {
   crash_epoch_++;
-  activations_.clear();
+  activations_.Clear();
   parked_calls_.clear();
   pending_calls_.Clear();
   timeout_queue_.clear();
@@ -783,9 +776,9 @@ void Server::FailPendingCall(uint64_t seq) {
   }
   PendingCall pending = std::move(*found);
   pending_calls_.Erase(seq);
-  auto act_it = activations_.find(pending.issuer);
-  if (act_it != activations_.end() && act_it->second.pending_subcalls > 0) {
-    act_it->second.pending_subcalls--;
+  Activation* act = activations_.Find(pending.issuer);
+  if (act != nullptr && act->pending_subcalls > 0) {
+    act->pending_subcalls--;
   }
   Response response;
   response.failed = true;

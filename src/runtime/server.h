@@ -149,7 +149,7 @@ class Server : public ThreadHost {
   const ServerConfig& config() const { return config_; }
 
   // --- Activation queries ---
-  bool IsActive(ActorId actor) const { return activations_.contains(actor); }
+  bool IsActive(ActorId actor) const { return activations_.Contains(actor); }
   int64_t num_activations() const { return static_cast<int64_t>(activations_.size()); }
   // Actors currently active on this server (stable order not guaranteed).
   std::vector<ActorId> ActiveActors() const;
@@ -214,6 +214,8 @@ class Server : public ThreadHost {
  private:
   friend class ServerCallContext;
 
+  static constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
+
   struct Activation {
     Actor* instance = nullptr;  // owned by the Cluster's state store
     bool busy = false;          // a turn is running or queued in the worker stage
@@ -222,6 +224,97 @@ class Server : public ThreadHost {
     int pending_subcalls = 0;   // sub-calls awaiting a response
     uint64_t dir_token = 0;     // token of the directory registration backing us
     RingBuffer<std::shared_ptr<Envelope>> mailbox;
+  };
+
+  // Dense activation table: Activation records live in a slab of recycled
+  // slots with a FlatHashMap index — flat bytes per activation instead of an
+  // unordered-map heap node (the dominant per-actor overhead at Halo scale),
+  // and a recycled slot keeps its mailbox RingBuffer storage, so
+  // deactivate/re-activate churn stops allocating mailboxes in steady state.
+  // Pointers returned by Find stay valid across Erase but are invalidated by
+  // Create (the slab may grow) — never hold one across an activation.
+  // ForEach visits slots in slot-index order: deterministic (a pure function
+  // of the server's activation history), independent of hash layout.
+  class ActivationTable {
+   public:
+    bool Contains(ActorId actor) const { return index_.Find(actor) != nullptr; }
+    Activation* Find(ActorId actor) {
+      const uint32_t* pos = index_.Find(actor);
+      return pos == nullptr ? nullptr : &slots_[*pos].act;
+    }
+    const Activation* Find(ActorId actor) const {
+      return const_cast<ActivationTable*>(this)->Find(actor);
+    }
+    size_t size() const { return live_; }
+
+    // The actor must not be active. Returns a freshly reset record (mailbox
+    // buffer inherited from the slot's previous occupant, empty).
+    Activation& Create(ActorId actor) {
+      uint32_t slot;
+      if (free_head_ != kNilSlot) {
+        slot = free_head_;
+        free_head_ = slots_[slot].free_next;
+      } else {
+        slots_.emplace_back();
+        slot = static_cast<uint32_t>(slots_.size() - 1);
+      }
+      Slot& s = slots_[slot];
+      s.actor = actor;
+      s.live = true;
+      s.act.instance = nullptr;
+      s.act.busy = false;
+      s.act.activation_pending = true;
+      s.act.open_contexts = 0;
+      s.act.pending_subcalls = 0;
+      s.act.dir_token = 0;
+      index_.Insert(actor, slot);
+      live_++;
+      return s.act;
+    }
+
+    // The mailbox must already be empty (only idle actors deactivate); its
+    // buffer stays with the slot for the next occupant.
+    void Erase(ActorId actor) {
+      const uint32_t* pos = index_.Find(actor);
+      ACTOP_CHECK(pos != nullptr);
+      Slot& s = slots_[*pos];
+      ACTOP_CHECK(s.act.mailbox.empty());
+      s.live = false;
+      s.free_next = free_head_;
+      free_head_ = *pos;
+      live_--;
+      index_.Erase(actor);
+    }
+
+    // Crash path: drops every record, queued mail included.
+    void Clear() {
+      slots_.clear();
+      free_head_ = kNilSlot;
+      live_ = 0;
+      index_.Clear();
+    }
+
+    template <typename Fn>
+    void ForEach(Fn&& fn) const {
+      for (const Slot& s : slots_) {
+        if (s.live) {
+          fn(s.actor, s.act);
+        }
+      }
+    }
+
+   private:
+    struct Slot {
+      ActorId actor = kNoActor;
+      Activation act;
+      uint32_t free_next = kNilSlot;
+      bool live = false;
+    };
+
+    std::vector<Slot> slots_;
+    uint32_t free_head_ = kNilSlot;
+    size_t live_ = 0;
+    FlatHashMap<ActorId, uint32_t> index_;
   };
 
   struct ParkedCalls {
@@ -301,7 +394,7 @@ class Server : public ThreadHost {
   std::unique_ptr<CpuModel> cpu_;
   std::vector<std::unique_ptr<Stage>> stages_;
 
-  PooledNodeMap<ActorId, Activation> activations_;
+  ActivationTable activations_;
   LocationCache location_cache_;
   DirectoryShard directory_shard_;
 
@@ -309,19 +402,17 @@ class Server : public ThreadHost {
   // FlatHashMap, not unordered_map: this is touched once per call issue and
   // once per response on the message hot path, is never iterated (iteration
   // order could never be determinism-load-bearing), and open addressing
-  // avoids the per-node allocation of the std containers. activations_ and
-  // parked_calls_ below stay std::unordered_map-shaped deliberately: they
-  // ARE iterated (ActiveActors, the SweepTimeouts retry loop), and replay
-  // determinism depends on that iteration order staying exactly as the
-  // seed's — PooledNodeMap only swaps the node allocator, which leaves
-  // hashing, bucket counts and therefore iteration order untouched.
+  // avoids the per-node allocation of the std containers. Walks that ARE
+  // replay-load-bearing (ActiveActors, the SweepTimeouts retry loop) run
+  // over slab-ordered structures (ActivationTable::ForEach) or node maps
+  // whose iteration order is a deterministic function of the event history
+  // (parked_calls_), never over open-addressing layout.
   FlatHashMap<uint64_t, PendingCall> pending_calls_;
   uint64_t next_call_seq_ = 1;
   // Monotone deadlines, swept FIFO; ring keeps steady state allocation-free.
   RingBuffer<std::pair<SimTime, uint64_t>> timeout_queue_;
 
   // Parked response continuations awaiting their worker-stage turn.
-  static constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
   std::vector<PendingResponse> response_slots_;
   uint32_t response_free_ = kNilSlot;
 

@@ -18,21 +18,45 @@ constexpr int kSpinsBeforeYield = 64;
 
 }  // namespace
 
-void ShardedEngine::SpinBarrier::Wait() {
-  const uint64_t gen = gen_.load(std::memory_order_acquire);
-  if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
-    count_.store(0, std::memory_order_relaxed);
-    gen_.fetch_add(1, std::memory_order_release);
-    return;
+ShardedEngine::TreeBarrier::TreeBarrier(int n)
+    : n_(n), nodes_(std::make_unique<Node[]>(static_cast<size_t>(n))) {
+  for (int i = 1; i < n; i++) {
+    nodes_[static_cast<size_t>((i - 1) / kFanout)].num_children++;
   }
+}
+
+void ShardedEngine::TreeBarrier::Wait(int id) {
+  Node& me = nodes_[static_cast<size_t>(id)];
+  const uint32_t next = me.sense ^ 1u;
+  // Collect the subtree: children release into our counter, we acquire, so
+  // their pre-barrier writes are visible before we propagate upward.
   int spins = 0;
-  while (gen_.load(std::memory_order_acquire) == gen) {
+  while (me.arrivals.load(std::memory_order_acquire) != me.num_children) {
     if (++spins < kSpinsBeforeYield) {
       CpuRelax();
     } else {
       std::this_thread::yield();
     }
   }
+  // Safe to reset before signaling the parent: a child's next-phase arrival
+  // is ordered after the root's sense flip, which is ordered after this
+  // store (reset -> our fetch_add -> ... -> root's release of sense_).
+  me.arrivals.store(0, std::memory_order_relaxed);
+  if (id == 0) {
+    sense_.store(next, std::memory_order_release);
+  } else {
+    nodes_[static_cast<size_t>((id - 1) / kFanout)].arrivals.fetch_add(
+        1, std::memory_order_acq_rel);
+    spins = 0;
+    while (sense_.load(std::memory_order_acquire) != next) {
+      if (++spins < kSpinsBeforeYield) {
+        CpuRelax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  me.sense = next;
 }
 
 ShardedEngine::ShardedEngine(ShardedEngineConfig config)
@@ -103,11 +127,11 @@ void ShardedEngine::WorkerMain(int shard) {
       return;
     }
     sims_[static_cast<size_t>(shard)]->RunWindow(window_end_);
-    barrier_.Wait();
+    barrier_.Wait(shard);
     if (exchange_hook_) {
       exchange_hook_(shard);
     }
-    barrier_.Wait();
+    barrier_.Wait(shard);
   }
 }
 
@@ -122,11 +146,11 @@ void ShardedEngine::RunWindow(SimTime end) {
   window_end_ = end;
   epoch_.fetch_add(1, std::memory_order_release);
   sims_[0]->RunWindow(end);
-  barrier_.Wait();
+  barrier_.Wait(0);
   if (exchange_hook_) {
     exchange_hook_(0);
   }
-  barrier_.Wait();
+  barrier_.Wait(0);
   // Workers are back to spinning on the epoch and no longer touch shard
   // state; the coordinator may now read every heap and run the barrier hook.
 }

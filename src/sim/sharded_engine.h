@@ -32,8 +32,12 @@
 //
 // Threading: RunUntil's caller is the coordinator and doubles as the shard-0
 // worker; shards 1..K-1 get dedicated threads woken per window by an epoch
-// counter. Window phases are separated by spin-then-yield barriers (the
-// yield keeps oversubscribed hosts — including single-core CI — functional).
+// counter. Window phases are separated by a sense-reversing tree barrier:
+// arrivals combine up a 4-ary tree of cacheline-padded counters (each parent
+// spins only on its own node) and the root flips a global sense word, so a
+// phase costs O(K) uncontended lines instead of K RMWs racing on one
+// counter. All waits spin briefly then yield (the yield keeps oversubscribed
+// hosts — including single-core CI — functional).
 
 #ifndef SRC_SIM_SHARDED_ENGINE_H_
 #define SRC_SIM_SHARDED_ENGINE_H_
@@ -117,17 +121,28 @@ class ShardedEngine {
   void AdvanceAll(SimTime t);
   void RunRailAt(SimTime r);
 
-  // Sense-free generation barrier: spin briefly, then yield (single-core
-  // hosts live on the yield path).
-  class SpinBarrier {
+  // Sense-reversing combining-tree barrier. Each participant owns a
+  // cacheline-padded node; children bump their parent's arrival counter, so
+  // every spin loop watches a line only that participant's subtree writes.
+  // The root flips the shared sense word to release the phase. Spin briefly,
+  // then yield (single-core hosts live on the yield path).
+  class TreeBarrier {
    public:
-    explicit SpinBarrier(int n) : n_(n) {}
-    void Wait();
+    explicit TreeBarrier(int n);
+    // Participant `id` (0..n-1) arrives and blocks until all n have arrived.
+    // Id 0 (the coordinator) releases the phase.
+    void Wait(int id);
 
    private:
+    static constexpr int kFanout = 4;
+    struct alignas(64) Node {
+      std::atomic<uint32_t> arrivals{0};
+      uint32_t num_children = 0;
+      uint32_t sense = 0;  // touched only by the owning participant
+    };
     const int n_;
-    std::atomic<int> count_{0};
-    std::atomic<uint64_t> gen_{0};
+    std::atomic<uint32_t> sense_{0};
+    std::unique_ptr<Node[]> nodes_;
   };
 
   ShardedEngineConfig config_;
@@ -146,7 +161,7 @@ class ShardedEngine {
   // Worker coordination. window_end_ is published by the epoch increment
   // (release) and read after the epoch load (acquire).
   std::vector<std::thread> workers_;
-  SpinBarrier barrier_;
+  TreeBarrier barrier_;
   std::atomic<uint64_t> epoch_{0};
   std::atomic<bool> shutdown_{false};
   SimTime window_end_ = 0;

@@ -53,7 +53,7 @@ std::vector<std::string> InvariantChecker::CheckInstant() {
     Server& server = cluster_->server(s);
     // (c) directory structure: entries live in the actor's home shard and
     // point into the live server set.
-    for (const auto& [actor, entry] : server.directory_shard().entries()) {
+    server.directory_shard().ForEach([&](ActorId actor, const DirEntry& entry) {
       if (entry.owner < 0 || entry.owner >= static_cast<ServerId>(n)) {
         std::ostringstream os;
         os << "directory entry out of range: actor " << actor << " -> server " << entry.owner
@@ -66,7 +66,7 @@ std::vector<std::string> InvariantChecker::CheckInstant() {
            << ", home is " << DirectoryHomeOf(actor, n);
         violations.push_back(os.str());
       }
-    }
+    });
     // (c) caches: a stale entry is only *detectably* stale if it points at a
     // reachable server (the miss there re-consults the directory).
     server.location_cache().ForEach([&](ActorId actor, ServerId loc) {

@@ -10,7 +10,6 @@
 
 #include <atomic>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/ids.h"

@@ -137,19 +137,41 @@ class GameActor : public Actor {
 
 }  // namespace
 
+void HaloState::PutRoster(uint64_t key, const std::vector<ActorId>& members) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t slot;
+  if (roster_free_ != kNilSlot) {
+    slot = roster_free_;
+    roster_free_ = roster_slots_[slot].free_next;
+  } else {
+    roster_slots_.emplace_back();
+    slot = static_cast<uint32_t>(roster_slots_.size() - 1);
+  }
+  roster_slots_[slot].members.assign(members.begin(), members.end());
+  roster_index_.Insert(key, slot);
+}
+
 void HaloState::ReadRoster(uint64_t key, std::vector<ActorId>* out) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = rosters_.find(key);
-  ACTOP_CHECK(it != rosters_.end());
-  out->assign(it->second.begin(), it->second.end());
+  const uint32_t* slot = roster_index_.Find(key);
+  ACTOP_CHECK(slot != nullptr);
+  const RosterSlot& s = roster_slots_[*slot];
+  out->assign(s.members.begin(), s.members.end());
 }
 
 void HaloState::TakeRoster(uint64_t key, std::vector<ActorId>* out) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = rosters_.find(key);
-  ACTOP_CHECK(it != rosters_.end());
-  *out = std::move(it->second);
-  rosters_.erase(it);
+  const uint32_t* found = roster_index_.Find(key);
+  ACTOP_CHECK(found != nullptr);
+  const uint32_t slot = *found;
+  RosterSlot& s = roster_slots_[slot];
+  // Swap instead of move: the caller's old buffer stays with the slot, so
+  // both sides of the take recycle their storage.
+  std::swap(*out, s.members);
+  s.members.clear();
+  s.free_next = roster_free_;
+  roster_free_ = slot;
+  roster_index_.Erase(key);
 }
 
 HaloWorkload::HaloWorkload(Cluster* cluster, HaloWorkloadConfig config)
@@ -202,16 +224,22 @@ SimDuration HaloWorkload::ScaledUniform(SimDuration lo, SimDuration hi) {
 
 void HaloWorkload::AddNewPlayer() {
   const ActorId player = MakeActorId(kPlayerActorType, next_player_key_++);
-  PlayerInfo info;
-  info.games_left =
-      static_cast<int>(rng_.NextInt(config_.min_games_per_player, config_.max_games_per_player));
-  player_game_.emplace(player, info);
+  PlayerRec rec;
+  rec.games_left =
+      static_cast<int32_t>(rng_.NextInt(config_.min_games_per_player, config_.max_games_per_player));
+  players_.Insert(player, rec);
   idle_pool_.push_back(player);
 }
 
 void HaloWorkload::Start() {
   ACTOP_CHECK(!running_);
   running_ = true;
+  // Size the player tables up front: at Halo scale (10M players) letting the
+  // map grow by doubling would briefly hold two copies of a multi-hundred-MB
+  // table and copy every record log(n) times during the fill below.
+  players_.Reserve(static_cast<size_t>(config_.target_players));
+  idle_pool_.reserve(static_cast<size_t>(config_.target_players));
+  in_game_players_.reserve(static_cast<size_t>(config_.target_players));
   for (int i = 0; i < config_.target_players; i++) {
     AddNewPlayer();
   }
@@ -255,8 +283,9 @@ void HaloWorkload::StartGame(const std::vector<ActorId>& members) {
   const ActorId game = MakeActorId(kGameActorType, game_key);
   state_->PutRoster(game_key, members);
   for (const ActorId member : members) {
-    player_game_[member].in_game = true;
-    in_game_index_[member] = in_game_players_.size();
+    PlayerRec* rec = players_.Find(member);
+    ACTOP_CHECK(rec != nullptr);
+    rec->slot = static_cast<uint32_t>(in_game_players_.size());
     in_game_players_.push_back(member);
   }
   active_games_++;
@@ -287,24 +316,23 @@ void HaloWorkload::FinishGame(uint64_t game_key) {
   driver_.Call(game, kEndGame, game_key, 128, nullptr);
   active_games_--;
   for (const ActorId member : finish_scratch_) {
-    // Remove from the in-game sampling vector (swap-remove via index map).
-    if (auto idx_it = in_game_index_.find(member); idx_it != in_game_index_.end()) {
-      const size_t idx = idx_it->second;
+    PlayerRec* rec = players_.Find(member);
+    ACTOP_CHECK(rec != nullptr);
+    // Remove from the in-game sampling vector (swap-remove via the record's
+    // slot; when member IS the last element the final store below wins).
+    if (rec->slot != kNoSlot) {
+      const uint32_t idx = rec->slot;
       const ActorId moved = in_game_players_.back();
       in_game_players_[idx] = moved;
       in_game_players_.pop_back();
-      in_game_index_[moved] = idx;
-      in_game_index_.erase(member);
-      if (moved == member && idx < in_game_players_.size()) {
-        // member was the last element; nothing else to fix up
-      }
+      players_.Find(moved)->slot = idx;
+      rec->slot = kNoSlot;
     }
-    PlayerInfo& info = player_game_[member];
-    info.in_game = false;
-    info.games_left--;
-    if (info.games_left <= 0) {
+    rec->games_left--;
+    if (rec->games_left <= 0) {
       // Departure + replacement arrival keeps the population at target.
-      player_game_.erase(member);
+      // (AddNewPlayer inserts, which may rehash — rec is dead past here.)
+      players_.Erase(member);
       players_departed_++;
       AddNewPlayer();
     } else {

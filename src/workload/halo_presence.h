@@ -23,13 +23,13 @@
 #define SRC_WORKLOAD_HALO_PRESENCE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_hash_map.h"
 #include "src/common/ids.h"
-#include "src/common/pool_allocator.h"
 #include "src/common/rng.h"
 #include "src/runtime/client.h"
 #include "src/runtime/cluster.h"
@@ -85,11 +85,9 @@ struct HaloWorkloadConfig {
 // atomics (bumped from actor turns on any shard, read only after a drain).
 // Serial runs take the same code path — the mutex is uncontended.
 struct HaloState {
-  // Installs the roster for `key` (driver, before StartGame).
-  void PutRoster(uint64_t key, const std::vector<ActorId>& members) {
-    std::lock_guard<std::mutex> lock(mu_);
-    rosters_[key] = members;
-  }
+  // Installs the roster for `key` (driver, before StartGame). Game keys are
+  // monotone and never reused.
+  void PutRoster(uint64_t key, const std::vector<ActorId>& members);
   // Copies the roster for `key` into `out`; the entry must exist.
   void ReadRoster(uint64_t key, std::vector<ActorId>* out) const;
   // Copies the roster for `key` into `out` and erases the entry.
@@ -99,10 +97,21 @@ struct HaloState {
   std::atomic<uint64_t> updates{0};     // player Update turns executed
 
  private:
+  static constexpr uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  // Rosters live in a slab of recycled slots — each slot keeps its member
+  // vector's buffer across the games it hosts, so the continuous game churn
+  // allocates nothing at steady state — indexed by an open-addressing map.
+  // The table is never iterated; at Halo scale it holds ~players/8 entries.
+  struct RosterSlot {
+    std::vector<ActorId> members;
+    uint32_t free_next = kNilSlot;
+  };
+
   mutable std::mutex mu_;
-  // Roster per game id. Node-pooled: games start and end continuously, so
-  // the roster entries churn in steady state.
-  PooledNodeMap<uint64_t, std::vector<ActorId>> rosters_;
+  std::vector<RosterSlot> roster_slots_;
+  uint32_t roster_free_ = kNilSlot;
+  FlatHashMap<uint64_t, uint32_t> roster_index_;
 };
 
 class HaloWorkload {
@@ -117,15 +126,21 @@ class HaloWorkload {
   ClientPool& clients() { return clients_; }
   const HaloState& state() const { return *state_; }
 
-  int64_t concurrent_players() const { return static_cast<int64_t>(player_game_.size()); }
+  int64_t concurrent_players() const { return static_cast<int64_t>(players_.size()); }
   int64_t active_games() const { return active_games_; }
   uint64_t games_started() const { return games_started_; }
   uint64_t players_departed() const { return players_departed_; }
 
  private:
-  struct PlayerInfo {
-    int games_left = 0;
-    bool in_game = false;
+  static constexpr uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  // One flat record per live player: remaining games plus the player's slot
+  // in in_game_players_ (kNoSlot while idle) — replaces the two node maps
+  // (player info + in-game index) this table used to span, halving both the
+  // per-player footprint and the lookups per membership change.
+  struct PlayerRec {
+    int32_t games_left = 0;
+    uint32_t slot = kNoSlot;
   };
 
   void AddNewPlayer();
@@ -142,10 +157,9 @@ class HaloWorkload {
   ClientPool clients_;
   DirectClient driver_;
 
-  PooledNodeMap<ActorId, PlayerInfo> player_game_;  // all live players
+  FlatHashMap<ActorId, PlayerRec> players_;  // all live players
   std::vector<ActorId> idle_pool_;
   std::vector<ActorId> in_game_players_;  // sampled by the client target fn
-  PooledNodeMap<ActorId, size_t> in_game_index_;  // player -> slot above
   // Scratch rosters reused across games: TryFormGames assembles the next
   // game's members here, FinishGame copies the ending game's roster out of
   // state_->rosters here (the roster entry itself is erased later, by the
